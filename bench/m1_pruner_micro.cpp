@@ -1,0 +1,96 @@
+/// \file m1_pruner_micro.cpp
+/// \brief Micro-benchmark M1 — pruner throughput (google-benchmark).
+///
+/// The pruning step runs once per node per round; its cost is the tester's
+/// compute bottleneck on dense inputs. Measures the representative
+/// (hitting-set) pruner across (k, t, |R|) and the literal reference
+/// implementation on the small inputs it can handle, plus the raw bounded
+/// hitting-set query.
+#include <benchmark/benchmark.h>
+
+#include "core/pruning.hpp"
+#include "core/representative_family.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace decycle;
+using core::IdSeq;
+
+std::vector<IdSeq> make_candidates(std::uint64_t seed, unsigned t, std::size_t count,
+                                   std::uint64_t universe) {
+  util::Rng rng(seed);
+  std::vector<IdSeq> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto ids = rng.sample_distinct(universe, t - 1);
+    IdSeq s;
+    for (const auto id : ids) s.push_back(id + 1);
+    out.push_back(std::move(s));
+  }
+  core::canonicalize(out);
+  return out;
+}
+
+void BM_RepresentativePruner(benchmark::State& state) {
+  const auto k = static_cast<unsigned>(state.range(0));
+  const auto t = static_cast<unsigned>(state.range(1));
+  const auto count = static_cast<std::size_t>(state.range(2));
+  const auto candidates = make_candidates(42, t, count, 4 * count);
+  core::PrunerConfig cfg;
+  cfg.k = k;
+  auto pruner = core::make_pruner(core::PruningMode::kRepresentative, cfg);
+  for (auto _ : state) {
+    auto result = pruner->select(candidates, t);
+    benchmark::DoNotOptimize(result.accepted.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(candidates.size()));
+}
+BENCHMARK(BM_RepresentativePruner)
+    ->Args({5, 2, 16})
+    ->Args({5, 2, 256})
+    ->Args({7, 3, 64})
+    ->Args({7, 3, 512})
+    ->Args({9, 4, 128})
+    ->Args({9, 4, 1024})
+    ->Args({11, 5, 256});
+
+void BM_ReferencePruner(benchmark::State& state) {
+  const auto k = static_cast<unsigned>(state.range(0));
+  const auto t = static_cast<unsigned>(state.range(1));
+  const auto count = static_cast<std::size_t>(state.range(2));
+  const auto candidates = make_candidates(43, t, count, 10);  // small universe: |X| stays sane
+  core::PrunerConfig cfg;
+  cfg.k = k;
+  auto pruner = core::make_pruner(core::PruningMode::kReference, cfg);
+  for (auto _ : state) {
+    auto result = pruner->select(candidates, t);
+    benchmark::DoNotOptimize(result.accepted.data());
+  }
+}
+BENCHMARK(BM_ReferencePruner)->Args({5, 2, 16})->Args({6, 3, 32})->Args({7, 3, 32});
+
+void BM_HittingSetQuery(benchmark::State& state) {
+  const auto family_size = static_cast<std::size_t>(state.range(0));
+  const auto budget = static_cast<unsigned>(state.range(1));
+  const auto family = make_candidates(44, 4, family_size, 30);
+  const IdSeq avoid{1, 2, 3};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::exists_bounded_hitting_set(family, avoid, budget));
+  }
+}
+BENCHMARK(BM_HittingSetQuery)->Args({8, 3})->Args({64, 3})->Args({64, 5})->Args({512, 5});
+
+void BM_Lemma3Bound(benchmark::State& state) {
+  for (auto _ : state) {
+    for (unsigned k = 3; k <= 16; ++k) {
+      for (unsigned t = 2; t <= k / 2; ++t) benchmark::DoNotOptimize(core::lemma3_bound(k, t));
+    }
+  }
+}
+BENCHMARK(BM_Lemma3Bound);
+
+}  // namespace
+
+BENCHMARK_MAIN();

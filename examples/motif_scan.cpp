@@ -1,0 +1,96 @@
+/// \file motif_scan.cpp
+/// \brief Cycle-motif census of a network with the distributed tester.
+///
+/// Sweeps k = 3..kmax over a configurable network family and reports, for
+/// each k, the distributed verdict, the witness, the exact count from the
+/// centralized oracle, and the communication cost. Demonstrates (a) the
+/// tester as a building block for motif analytics and (b) how the cost
+/// scales with k at fixed instance size.
+///
+///   ./motif_scan [--family=smallworld|torus|clique|random] [--n=64]
+///                [--kmax=8] [--seed=5]
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "core/census.hpp"
+#include "graph/generators.hpp"
+#include "graph/subgraph.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+decycle::graph::Graph make_family(const std::string& family, decycle::graph::Vertex n,
+                                  decycle::util::Rng& rng) {
+  using namespace decycle::graph;
+  if (family == "torus") {
+    const auto side = static_cast<Vertex>(8);
+    return grid(side, std::max<Vertex>(3, n / side), /*wrap=*/true);
+  }
+  if (family == "clique") return complete(std::min<Vertex>(n, 14));
+  if (family == "random") return erdos_renyi_gnm(n, 2 * static_cast<std::size_t>(n), rng);
+  // "smallworld": ring + random chords.
+  GraphBuilder b(n);
+  for (Vertex v = 0; v < n; ++v) b.add_edge(v, (v + 1) % n);
+  for (Vertex c = 0; c < n / 4; ++c) {
+    const auto u = static_cast<Vertex>(rng.next_below(n));
+    const auto w = static_cast<Vertex>(rng.next_below(n));
+    if (u != w) b.add_edge(u, w);
+  }
+  return b.build();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace decycle;
+  const util::Args args(argc, argv);
+  const std::string family = args.get_string("family", "smallworld");
+  const auto n = static_cast<graph::Vertex>(args.get_u64("n", 64));
+  const auto kmax = static_cast<unsigned>(args.get_u64("kmax", 8));
+  const std::uint64_t seed = args.get_u64("seed", 5);
+  args.reject_unknown();
+
+  util::Rng rng(seed);
+  const graph::Graph g = make_family(family, n, rng);
+  const graph::IdAssignment ids = graph::IdAssignment::shuffled(g.num_vertices(), rng);
+  std::printf("motif scan on '%s': n=%u m=%zu\n", family.c_str(), g.num_vertices(), g.num_edges());
+
+  // One call sweeps the whole k range (core/census.hpp).
+  core::CensusOptions copt;
+  copt.k_min = 3;
+  copt.k_max = kmax;
+  copt.epsilon = 0.08;
+  copt.seed = seed;
+  const core::CensusResult census = core::cycle_census(g, ids, copt);
+
+  util::Table table({"k", "tester", "witness", "exact Ck count", "rounds", "messages", "KiB"});
+  for (const auto& entry : census.entries) {
+    std::string witness = "-";
+    if (!entry.accepted) {
+      witness.clear();
+      for (const auto v : entry.witness) {
+        if (!witness.empty()) witness.push_back('-');
+        witness.append(std::to_string(v));
+      }
+    }
+    const std::uint64_t exact = graph::count_cycles(g, entry.k);
+    table.row()
+        .cell(static_cast<std::uint64_t>(entry.k))
+        .cell(entry.accepted ? "accept" : "REJECT")
+        .cell(witness)
+        .cell(exact)
+        .cell(entry.rounds)
+        .cell(static_cast<std::uint64_t>(entry.messages))
+        .cell(static_cast<double>(entry.bits) / 8192.0, 1);
+  }
+  table.print(std::cout, "cycle motifs (tester verdict vs exact census)");
+  if (census.smallest_detected() != 0) {
+    std::printf("girth upper bound from the census: %u\n", census.smallest_detected());
+  }
+  std::printf("note: 'accept' with count>0 is possible by design — the tester guarantees\n"
+              "detection w.p. >= 2/3 only on eps-far instances; REJECT is always certified.\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+#include "baselines/c4_tester.hpp"
+
+#include <array>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "core/witness.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace decycle::baselines {
+
+namespace {
+
+using congest::Context;
+using congest::Envelope;
+using congest::MessageReader;
+using congest::MessageWriter;
+using graph::NodeId;
+
+constexpr std::uint64_t kTagCherry = 1;
+
+class C4Program final : public congest::NodeProgram {
+ public:
+  C4Program(std::size_t iterations, std::uint64_t seed, NodeId my_id)
+      : iterations_(iterations), seed_(seed), my_id_(my_id) {}
+
+  void on_round(Context& ctx, std::span<const Envelope> inbox) override {
+    // Two distinct senders reporting the same partner close a 4-cycle
+    // through this node (reports name the pair {a,b} with a = this node).
+    // Inboxes hold at most one report per neighbor, so the pairwise scan is
+    // O(d²) with tiny constants.
+    if (!c4_) check_all_pairs(ctx, inbox);
+
+    const std::uint64_t iter = ctx.round();
+    if (iter >= iterations_) return;
+    if (ctx.degree() >= 2) {
+      util::Rng rng = util::Rng(seed_).fork(iter).fork(my_id_);
+      const auto pick = rng.sample_distinct(ctx.degree(), 2);
+      auto port_a = static_cast<std::uint32_t>(pick[0]);
+      auto port_b = static_cast<std::uint32_t>(pick[1]);
+      // Report to the smaller-ID endpoint of the pair.
+      if (ctx.neighbor_id(port_a) > ctx.neighbor_id(port_b)) std::swap(port_a, port_b);
+      MessageWriter w;
+      w.put_u64(kTagCherry);
+      w.put_u64(ctx.neighbor_id(port_b));  // the other endpoint of the cherry
+      ctx.send(port_a, w.finish());
+    }
+    ctx.request_wakeup_at(iter + 1);
+  }
+
+  [[nodiscard]] const std::optional<std::array<NodeId, 4>>& c4() const noexcept { return c4_; }
+
+ private:
+  void check_all_pairs(Context& ctx, std::span<const Envelope> inbox) {
+    for (std::size_t i = 0; i < inbox.size() && !c4_; ++i) {
+      for (std::size_t j = i + 1; j < inbox.size() && !c4_; ++j) {
+        MessageReader ri(inbox[i].payload);
+        MessageReader rj(inbox[j].payload);
+        (void)ri.get_u64();
+        (void)rj.get_u64();
+        const NodeId pi = ri.get_u64();
+        const NodeId pj = rj.get_u64();
+        const NodeId si = ctx.neighbor_id(inbox[i].port);
+        const NodeId sj = ctx.neighbor_id(inbox[j].port);
+        if (pi == pj && si != sj) c4_ = {si, my_id_, sj, pi};
+      }
+    }
+  }
+
+  std::size_t iterations_;
+  std::uint64_t seed_;
+  NodeId my_id_;
+  std::optional<std::array<NodeId, 4>> c4_;
+};
+
+}  // namespace
+
+C4Verdict test_c4_freeness_frst(const graph::Graph& g, const graph::IdAssignment& ids,
+                                const C4TesterOptions& options) {
+  congest::Simulator sim(g, ids, [&](graph::Vertex v) {
+    return std::make_unique<C4Program>(options.iterations, options.seed, ids.id_of(v));
+  });
+  congest::Simulator::Options sim_options;
+  sim_options.max_rounds = options.iterations + 2;
+  C4Verdict verdict;
+  verdict.stats = sim.run(sim_options);
+
+  sim.for_each_program<C4Program>([&](graph::Vertex vert, const C4Program& prog) {
+    (void)vert;
+    if (!prog.c4()) return;
+    verdict.accepted = false;
+    verdict.rejecting_nodes += 1;
+    if (verdict.witness.empty()) {
+      const auto& cyc = *prog.c4();
+      if (options.validate_witnesses) {
+        verdict.witness = core::validated_witness_vertices(g, ids, std::span(cyc.data(), 4));
+      } else {
+        for (const NodeId id : cyc) verdict.witness.push_back(ids.vertex_of(id));
+      }
+    }
+  });
+  return verdict;
+}
+
+}  // namespace decycle::baselines

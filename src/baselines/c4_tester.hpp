@@ -1,0 +1,41 @@
+/// \file c4_tester.hpp
+/// \brief C4-freeness tester in the style of Fraigniaud, Rapaport, Salo and
+/// Todinca (DISC 2016) — reference [20].
+///
+/// A C4 is two "cherries" (paths a-v-b and a-w-b) on the same endpoint pair
+/// {a, b}. Per iteration (1 CONGEST round): every node with degree >= 2
+/// picks a random pair of neighbors {a, b} and reports it to the smaller-ID
+/// endpoint (which is adjacent, being a chosen neighbor). A node receiving
+/// the same pair from two distinct senders v, w has found the C4 (v,a,w,b).
+/// O(1/ε²) iterations on ε-far instances, per [20].
+///
+/// This baseline exists for experiment B1: the paper's algorithm at k=4
+/// versus the specialized tester whose technique provably fails for k >= 5.
+#pragma once
+
+#include <cstdint>
+
+#include "congest/simulator.hpp"
+#include "graph/graph.hpp"
+#include "graph/ids.hpp"
+
+namespace decycle::baselines {
+
+struct C4TesterOptions {
+  std::size_t iterations = 64;
+  std::uint64_t seed = 1;
+  bool validate_witnesses = true;
+};
+
+struct C4Verdict {
+  bool accepted = true;
+  std::size_t rejecting_nodes = 0;
+  std::vector<graph::Vertex> witness;  ///< a validated C4 when rejected
+  congest::RunStats stats;
+};
+
+[[nodiscard]] C4Verdict test_c4_freeness_frst(const graph::Graph& g,
+                                              const graph::IdAssignment& ids,
+                                              const C4TesterOptions& options);
+
+}  // namespace decycle::baselines

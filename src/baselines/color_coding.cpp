@@ -1,0 +1,157 @@
+#include "baselines/color_coding.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "graph/subgraph.hpp"
+#include "util/check.hpp"
+
+namespace decycle::baselines {
+
+namespace {
+
+using graph::Graph;
+using graph::Vertex;
+
+/// Dense set of color masks (indices in [0, 2^k)).
+class MaskSet {
+ public:
+  explicit MaskSet(unsigned k) : words_((std::size_t{1} << k) / 64 + 1, 0) {}
+
+  bool insert(std::uint32_t mask) {
+    const std::uint64_t bit = std::uint64_t{1} << (mask % 64);
+    std::uint64_t& word = words_[mask / 64];
+    if (word & bit) return false;
+    word |= bit;
+    empty_ = false;
+    return true;
+  }
+
+  [[nodiscard]] bool contains(std::uint32_t mask) const {
+    return (words_[mask / 64] >> (mask % 64)) & 1;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return empty_; }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t word = words_[w];
+      while (word != 0) {
+        const auto bit = static_cast<unsigned>(std::countr_zero(word));
+        fn(static_cast<std::uint32_t>(w * 64 + bit));
+        word &= word - 1;
+      }
+    }
+  }
+
+  void clear() {
+    std::fill(words_.begin(), words_.end(), 0);
+    empty_ = true;
+  }
+
+ private:
+  std::vector<std::uint64_t> words_;
+  bool empty_ = true;
+};
+
+/// One coloring attempt: searches a colorful k-cycle through any vertex of
+/// color 0 (every colorful cycle has exactly one such vertex).
+std::optional<std::vector<Vertex>> colorful_cycle(const Graph& g, unsigned k,
+                                                  const std::vector<std::uint8_t>& color) {
+  const std::uint32_t full = (std::uint32_t{1} << k) - 1;
+  // levels[l][v] = color masks of colorful paths with l vertices from the
+  // current start s to v (mask includes both endpoints' colors). Allocated
+  // once; per-start cleanup touches only the vertices actually reached.
+  std::vector<std::vector<MaskSet>> levels(k + 1,
+                                           std::vector<MaskSet>(g.num_vertices(), MaskSet(k)));
+  std::vector<std::vector<Vertex>> touched(k + 1);
+
+  for (Vertex s = 0; s < g.num_vertices(); ++s) {
+    if (color[s] != 0) continue;
+    for (unsigned len = 1; len <= k; ++len) {
+      for (const Vertex v : touched[len]) levels[len][v].clear();
+      touched[len].clear();
+    }
+    levels[1][s].insert(1);  // path = {s}, mask = {color 0}
+    touched[1] = {s};
+
+    for (unsigned len = 1; len < k && !touched[len].empty(); ++len) {
+      std::vector<Vertex> next;
+      for (const Vertex v : touched[len]) {
+        levels[len][v].for_each([&](std::uint32_t mask) {
+          for (const Vertex w : g.neighbors(v)) {
+            const std::uint32_t bit = std::uint32_t{1} << color[w];
+            if (mask & bit) continue;  // color already used: not colorful
+            if (levels[len + 1][w].empty()) next.push_back(w);
+            levels[len + 1][w].insert(mask | bit);
+          }
+        });
+      }
+      std::sort(next.begin(), next.end());
+      next.erase(std::unique(next.begin(), next.end()), next.end());
+      touched[len + 1] = std::move(next);
+    }
+
+    // Close the cycle: a full-mask path of k vertices ending at a neighbor
+    // of s. Then reconstruct backwards through the level sets.
+    for (const Vertex w : g.neighbors(s)) {
+      if (!levels[k][w].contains(full)) continue;
+      std::vector<Vertex> cycle(k);
+      Vertex cur = w;
+      std::uint32_t mask = full;
+      for (unsigned len = k; len >= 2; --len) {
+        cycle[len - 1] = cur;
+        const std::uint32_t prev_mask = mask & ~(std::uint32_t{1} << color[cur]);
+        bool stepped = false;
+        for (const Vertex p : g.neighbors(cur)) {
+          if (levels[len - 1][p].contains(prev_mask)) {
+            cur = p;
+            mask = prev_mask;
+            stepped = true;
+            break;
+          }
+        }
+        DECYCLE_CHECK_MSG(stepped, "color-coding reconstruction failed");
+      }
+      cycle[0] = cur;
+      DECYCLE_CHECK_MSG(cur == s, "color-coding reconstruction did not reach the start");
+      DECYCLE_CHECK_MSG(graph::validate_cycle(g, cycle), "color-coding produced a bogus cycle");
+      return cycle;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::size_t color_coding_iterations(unsigned k, double delta) noexcept {
+  // success prob per coloring >= k!/k^k; repeat ln(1/δ)/p times.
+  double p = 1.0;
+  for (unsigned i = 1; i <= k; ++i) p *= static_cast<double>(i) / static_cast<double>(k);
+  const double iters = std::ceil(std::log(1.0 / delta) / p);
+  return static_cast<std::size_t>(std::max(1.0, iters));
+}
+
+ColorCodingResult find_cycle_color_coding(const Graph& g, unsigned k,
+                                          const ColorCodingOptions& options) {
+  DECYCLE_CHECK_MSG(k >= 3 && k <= 20, "color coding supports 3 <= k <= 20");
+  ColorCodingResult result;
+  const std::size_t iterations =
+      options.iterations != 0 ? options.iterations : color_coding_iterations(k, 1.0 / 3.0);
+  util::Rng rng(options.seed);
+  std::vector<std::uint8_t> color(g.num_vertices(), 0);
+  for (std::size_t it = 0; it < iterations; ++it) {
+    for (auto& c : color) c = static_cast<std::uint8_t>(rng.next_below(k));
+    result.iterations_used = it + 1;
+    if (auto cycle = colorful_cycle(g, k, color)) {
+      result.found = true;
+      result.cycle = std::move(*cycle);
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace decycle::baselines

@@ -1,0 +1,44 @@
+/// \file color_coding.hpp
+/// \brief Centralized color-coding k-cycle detection (Alon–Yuster–Zwick).
+///
+/// The classical sequential comparison point: color vertices uniformly with
+/// k colors; a k-cycle survives as a "colorful" cycle with probability
+/// k!/k^k >= e^-k, and colorful cycles are found in O(m·2^k) by dynamic
+/// programming over color subsets. Repeating ⌈e^k·ln(1/δ)⌉ times gives
+/// failure probability δ; the implementation is one-sided (a reported cycle
+/// is always validated and real).
+///
+/// Used by experiment B1 as the centralized reference the distributed tester
+/// is measured against, and by tests as an independent exact-ish oracle.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace decycle::baselines {
+
+struct ColorCodingOptions {
+  /// 0 = auto: ⌈e^k · ln(1/δ)⌉ with δ = 1/3 (the property-testing guarantee).
+  std::size_t iterations = 0;
+  std::uint64_t seed = 1;
+};
+
+struct ColorCodingResult {
+  bool found = false;
+  std::vector<graph::Vertex> cycle;  ///< validated witness when found
+  std::size_t iterations_used = 0;
+};
+
+/// Searches for any Ck. One-sided: found=true always carries a real cycle;
+/// found=false may be a false negative with probability <= (1-k!/k^k)^iters.
+[[nodiscard]] ColorCodingResult find_cycle_color_coding(const graph::Graph& g, unsigned k,
+                                                        const ColorCodingOptions& options);
+
+/// Number of iterations for failure probability delta.
+[[nodiscard]] std::size_t color_coding_iterations(unsigned k, double delta) noexcept;
+
+}  // namespace decycle::baselines

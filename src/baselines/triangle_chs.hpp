@@ -1,0 +1,42 @@
+/// \file triangle_chs.hpp
+/// \brief Triangle (C3) freeness tester in the style of Censor-Hillel,
+/// Fischer, Schwartzman and Vasudev (DISC 2016) — reference [7].
+///
+/// Per iteration (2 CONGEST rounds): every node with degree >= 2 picks two
+/// random neighbors a, b and asks a whether b is adjacent to it; a answers
+/// from its neighbor table (KT1). A "yes" exposes the triangle (v, a, b).
+/// On graphs ε-far from triangle-freeness there are >= εm/3 edge-disjoint
+/// triangles (Lemma 4), and a triangle (v,a,b) is found by v with
+/// probability >= 2/deg(v)², giving the O(1/ε²)-round behaviour of [7].
+///
+/// This baseline exists for experiment B1: the paper's algorithm at k=3
+/// versus the specialized tester it generalizes.
+#pragma once
+
+#include <cstdint>
+
+#include "congest/simulator.hpp"
+#include "graph/graph.hpp"
+#include "graph/ids.hpp"
+#include "util/rng.hpp"
+
+namespace decycle::baselines {
+
+struct TriangleTesterOptions {
+  std::size_t iterations = 64;
+  std::uint64_t seed = 1;
+  bool validate_witnesses = true;
+};
+
+struct TriangleVerdict {
+  bool accepted = true;
+  std::size_t rejecting_nodes = 0;
+  std::vector<graph::Vertex> witness;  ///< a validated triangle when rejected
+  congest::RunStats stats;
+};
+
+[[nodiscard]] TriangleVerdict test_triangle_freeness_chs(const graph::Graph& g,
+                                                         const graph::IdAssignment& ids,
+                                                         const TriangleTesterOptions& options);
+
+}  // namespace decycle::baselines

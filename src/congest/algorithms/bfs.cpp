@@ -1,0 +1,33 @@
+#include "congest/algorithms/bfs.hpp"
+
+namespace decycle::congest {
+
+void BfsProgram::on_round(Context& ctx, std::span<const Envelope> inbox) {
+  if (ctx.round() == 0 && is_root_) {
+    distance_ = 0;
+    MessageWriter w;
+    w.put_u64(1);  // distance offered to neighbors
+    ctx.send_all(w.finish());
+    return;
+  }
+  if (distance_.has_value()) return;  // already layered; late offers are ignored
+
+  std::optional<std::uint64_t> best;
+  std::optional<std::uint32_t> best_port;
+  for (const Envelope& env : inbox) {
+    MessageReader r(env.payload);
+    const std::uint64_t offered = r.get_u64();
+    if (!best || offered < *best) {
+      best = offered;
+      best_port = env.port;
+    }
+  }
+  if (!best) return;
+  distance_ = *best;
+  parent_port_ = best_port;
+  MessageWriter w;
+  w.put_u64(*distance_ + 1);
+  ctx.send_all(w.finish());
+}
+
+}  // namespace decycle::congest

@@ -1,0 +1,35 @@
+/// \file bfs.hpp
+/// \brief Distributed BFS layering — a reference CONGEST algorithm.
+///
+/// Not part of the paper's contribution; lives here to (a) validate the
+/// simulator against an algorithm whose behaviour is trivially checkable
+/// (distances must match centralized BFS) and (b) serve as the "hello world"
+/// of the substrate in examples/congest_playground.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "congest/node.hpp"
+
+namespace decycle::congest {
+
+class BfsProgram final : public NodeProgram {
+ public:
+  explicit BfsProgram(bool is_root) : is_root_(is_root) {}
+
+  void on_round(Context& ctx, std::span<const Envelope> inbox) override;
+
+  /// Hop distance from the root; nullopt if never reached.
+  [[nodiscard]] std::optional<std::uint64_t> distance() const noexcept { return distance_; }
+
+  /// Port towards the parent in the BFS tree (nullopt at the root / unreached).
+  [[nodiscard]] std::optional<std::uint32_t> parent_port() const noexcept { return parent_port_; }
+
+ private:
+  bool is_root_;
+  std::optional<std::uint64_t> distance_;
+  std::optional<std::uint32_t> parent_port_;
+};
+
+}  // namespace decycle::congest

@@ -1,0 +1,27 @@
+#include "congest/algorithms/flood_max.hpp"
+
+namespace decycle::congest {
+
+void FloodMaxProgram::on_round(Context& ctx, std::span<const Envelope> inbox) {
+  bool improved = false;
+  if (!started_) {
+    leader_ = ctx.my_id();
+    started_ = true;
+    improved = true;
+  }
+  for (const Envelope& env : inbox) {
+    MessageReader r(env.payload);
+    const NodeId candidate = r.get_u64();
+    if (candidate > leader_) {
+      leader_ = candidate;
+      improved = true;
+    }
+  }
+  if (improved) {
+    MessageWriter w;
+    w.put_u64(leader_);
+    ctx.send_all(w.finish());
+  }
+}
+
+}  // namespace decycle::congest

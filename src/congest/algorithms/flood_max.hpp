@@ -1,0 +1,25 @@
+/// \file flood_max.hpp
+/// \brief Flood-max leader election — second reference CONGEST algorithm.
+///
+/// Every node floods the largest ID it has seen; after diameter rounds all
+/// nodes agree on the global maximum. Exercises multi-round convergence and
+/// quiescence detection in the simulator.
+#pragma once
+
+#include "congest/node.hpp"
+
+namespace decycle::congest {
+
+class FloodMaxProgram final : public NodeProgram {
+ public:
+  void on_round(Context& ctx, std::span<const Envelope> inbox) override;
+
+  [[nodiscard]] NodeId leader() const noexcept { return leader_; }
+  [[nodiscard]] bool is_leader(NodeId my_id) const noexcept { return leader_ == my_id; }
+
+ private:
+  NodeId leader_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace decycle::congest

@@ -1,0 +1,19 @@
+#include "congest/algorithms/neighbor_discovery.hpp"
+
+namespace decycle::congest {
+
+void NeighborDiscoveryProgram::on_round(Context& ctx, std::span<const Envelope> inbox) {
+  if (ctx.round() == 0) {
+    learned_.assign(ctx.degree(), 0);
+    MessageWriter w;
+    w.put_u64(ctx.my_id());
+    ctx.send_all(w.finish());
+    return;
+  }
+  for (const Envelope& env : inbox) {
+    MessageReader r(env.payload);
+    learned_[env.port] = r.get_u64();
+  }
+}
+
+}  // namespace decycle::congest

@@ -1,0 +1,15 @@
+#include "congest/algorithms/or_flood.hpp"
+
+namespace decycle::congest {
+
+void OrFloodProgram::on_round(Context& ctx, std::span<const Envelope> inbox) {
+  if (!value_ && !inbox.empty()) value_ = true;  // any token means some input was 1
+  if (value_ && !announced_) {
+    announced_ = true;
+    MessageWriter w;
+    w.put_u64(1);
+    ctx.send_all(w.finish());
+  }
+}
+
+}  // namespace decycle::congest

@@ -1,0 +1,31 @@
+/// \file or_flood.hpp
+/// \brief Distributed OR-aggregation by flooding (verdict dissemination).
+///
+/// The tester's contract is "at least one node outputs reject" — but in a
+/// deployment every node wants to KNOW the global verdict (e.g. to abort a
+/// transaction on deadlock). OR-flooding closes that gap: every node holding
+/// a 1 floods a token once; everyone who hears it adopts and re-floods once.
+/// After at most diameter rounds all nodes agree on the OR of the inputs,
+/// with one O(1)-bit message per link per direction in total. Composed with
+/// the tester in tests/integration.
+#pragma once
+
+#include "congest/node.hpp"
+
+namespace decycle::congest {
+
+class OrFloodProgram final : public NodeProgram {
+ public:
+  explicit OrFloodProgram(bool initial) : value_(initial) {}
+
+  void on_round(Context& ctx, std::span<const Envelope> inbox) override;
+
+  /// The OR of all inputs once the network quiesces.
+  [[nodiscard]] bool value() const noexcept { return value_; }
+
+ private:
+  bool value_;
+  bool announced_ = false;
+};
+
+}  // namespace decycle::congest

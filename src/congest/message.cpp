@@ -1,0 +1,34 @@
+#include "congest/message.hpp"
+
+namespace decycle::congest {
+
+MessageWriter& MessageWriter::put_u64(std::uint64_t value) {
+  while (value >= 0x80) {
+    bytes_.push_back(static_cast<std::uint8_t>(value | 0x80));
+    value >>= 7;
+  }
+  bytes_.push_back(static_cast<std::uint8_t>(value));
+  return *this;
+}
+
+std::uint64_t MessageReader::get_u64() {
+  std::uint64_t value = 0;
+  unsigned shift = 0;
+  while (true) {
+    DECYCLE_CHECK_MSG(pos_ < bytes_.size(), "message underflow");
+    const std::uint8_t byte = bytes_[pos_++];
+    DECYCLE_CHECK_MSG(shift < 64, "varint too long");
+    value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+  }
+  return value;
+}
+
+std::uint32_t MessageReader::get_u32() {
+  const std::uint64_t v = get_u64();
+  DECYCLE_CHECK_MSG(v <= 0xffffffffULL, "u32 overflow in message");
+  return static_cast<std::uint32_t>(v);
+}
+
+}  // namespace decycle::congest

@@ -1,0 +1,69 @@
+/// \file message.hpp
+/// \brief Wire messages and the varint codec.
+///
+/// The CONGEST model bounds each link to O(log n) bits per round (paper
+/// §2.1). To keep the accounting honest, every message in the simulator is a
+/// real byte buffer produced by a codec — algorithms cannot smuggle
+/// unbounded state through pointers. Bit sizes feed the per-round link
+/// statistics and the bandwidth-normalized round metric (DESIGN.md §3.4).
+///
+/// Encoding: LEB128-style varints (7 bits per byte), so an ID costs
+/// ⌈bits(id)/7⌉ bytes — proportional to log n, as the model assumes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace decycle::congest {
+
+/// An opaque payload travelling over one link in one round.
+class Message {
+ public:
+  Message() = default;
+  explicit Message(std::vector<std::uint8_t> bytes) : bytes_(std::move(bytes)) {}
+
+  [[nodiscard]] bool empty() const noexcept { return bytes_.empty(); }
+  [[nodiscard]] std::size_t byte_size() const noexcept { return bytes_.size(); }
+  [[nodiscard]] std::uint64_t bit_size() const noexcept { return bytes_.size() * 8; }
+  [[nodiscard]] std::span<const std::uint8_t> bytes() const noexcept { return bytes_; }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Serializes unsigned integers into a Message.
+class MessageWriter {
+ public:
+  MessageWriter& put_u64(std::uint64_t value);
+
+  /// Convenience for small counts/tags.
+  MessageWriter& put_u32(std::uint32_t value) { return put_u64(value); }
+
+  [[nodiscard]] Message finish() { return Message(std::move(bytes_)); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Deserializes in the same order the writer produced. Holds a view into
+/// the message, so the Message must outlive the reader (binding a temporary
+/// is rejected at compile time).
+class MessageReader {
+ public:
+  explicit MessageReader(const Message& msg) : bytes_(msg.bytes()) {}
+  explicit MessageReader(Message&&) = delete;
+
+  [[nodiscard]] std::uint64_t get_u64();
+  [[nodiscard]] std::uint32_t get_u32();
+  [[nodiscard]] bool at_end() const noexcept { return pos_ == bytes_.size(); }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace decycle::congest

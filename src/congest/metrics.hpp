@@ -1,0 +1,44 @@
+/// \file metrics.hpp
+/// \brief Communication statistics collected by the simulator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace decycle::congest {
+
+/// Per-round communication profile.
+struct RoundStats {
+  std::uint64_t round = 0;
+  std::size_t active_nodes = 0;
+  std::size_t messages = 0;       ///< non-empty messages sent
+  std::uint64_t bits = 0;         ///< total payload bits
+  std::uint64_t max_link_bits = 0;  ///< largest single message (one link slot)
+};
+
+/// Whole-run statistics. "Logical rounds" are the paper's unit — one
+/// bounded-size bundle per link per round. normalized_rounds() charges each
+/// logical round ⌈max_link_bits/B⌉ strict B-bit rounds instead, i.e. the
+/// cost of shipping the same traffic through literal O(log n)-bit packets.
+struct RunStats {
+  std::uint64_t rounds_executed = 0;
+  std::size_t total_messages = 0;
+  std::uint64_t total_bits = 0;
+  std::uint64_t max_link_bits = 0;       ///< max over all rounds/links
+  std::size_t max_active_nodes = 0;
+  std::size_t dropped_messages = 0;      ///< removed by the drop adversary
+  bool halted = false;                   ///< true: quiesced; false: hit round cap
+  std::vector<RoundStats> per_round;     ///< filled when Options::record_rounds
+
+  [[nodiscard]] std::uint64_t normalized_rounds(std::uint64_t bandwidth_bits) const {
+    if (bandwidth_bits == 0) return rounds_executed;
+    std::uint64_t total = 0;
+    for (const auto& r : per_round) {
+      const std::uint64_t packets = (r.max_link_bits + bandwidth_bits - 1) / bandwidth_bits;
+      total += packets == 0 ? 1 : packets;
+    }
+    return total;
+  }
+};
+
+}  // namespace decycle::congest

@@ -1,0 +1,117 @@
+/// \file node.hpp
+/// \brief Per-node program interface for the CONGEST simulator.
+///
+/// An algorithm is a NodeProgram subclass instantiated once per vertex
+/// (every node runs the same code on its own state — paper §2.1). The
+/// simulator calls on_round() with the messages delivered this round; the
+/// program reacts by sending at most one message per incident link (the
+/// CONGEST slot discipline, enforced) and/or scheduling a wake-up.
+///
+/// Knowledge model: a node knows its own ID, its degree, and the IDs of its
+/// neighbors (port -> ID). This is the standard KT1 assumption; with KT0 the
+/// neighbor IDs cost one extra round of exchange, which shifts every round
+/// count by one and nothing else.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "congest/message.hpp"
+#include "graph/graph.hpp"
+#include "graph/ids.hpp"
+
+namespace decycle::congest {
+
+using graph::NodeId;
+using graph::Vertex;
+
+/// A message as seen by the receiver. \p port is the receiver's port number
+/// for the sending neighbor (dense 0..deg-1, sorted by neighbor vertex).
+struct Envelope {
+  std::uint32_t port;
+  Message payload;
+};
+
+/// The per-round view a node has of itself and its links. Constructed by the
+/// simulator; programs only ever see references.
+class Context {
+ public:
+  [[nodiscard]] std::uint64_t round() const noexcept { return round_; }
+  [[nodiscard]] Vertex vertex() const noexcept { return vertex_; }
+  [[nodiscard]] NodeId my_id() const noexcept { return ids_->id_of(vertex_); }
+  [[nodiscard]] std::size_t degree() const noexcept { return graph_->degree(vertex_); }
+
+  [[nodiscard]] NodeId neighbor_id(std::uint32_t port) const {
+    return ids_->id_of(graph_->neighbors(vertex_)[port]);
+  }
+
+  /// Queues \p msg on \p port. At most one send per port per round
+  /// (CONGEST); violations throw.
+  void send(std::uint32_t port, Message msg);
+
+  /// Broadcasts a copy of \p msg on every port.
+  void send_all(const Message& msg);
+
+  /// Ensures this node is stepped at \p round even without incoming mail
+  /// (used for repetition boundaries). Must be in the future.
+  void request_wakeup_at(std::uint64_t round);
+
+  /// A queued send (exposed for the simulator's merge phase).
+  struct Outgoing {
+    std::uint32_t port;
+    Message payload;
+  };
+
+ private:
+  friend class Simulator;
+  Context(const graph::Graph& g, const graph::IdAssignment& ids) : graph_(&g), ids_(&ids) {}
+
+  const graph::Graph* graph_;
+  const graph::IdAssignment* ids_;
+  Vertex vertex_ = 0;
+  std::uint64_t round_ = 0;
+  std::vector<Outgoing> outbox_;
+  std::vector<char> port_used_;
+  std::uint64_t wakeup_ = kNoWakeup;
+
+  static constexpr std::uint64_t kNoWakeup = ~std::uint64_t{0};
+
+  void reset(Vertex v, std::uint64_t round) {
+    vertex_ = v;
+    round_ = round;
+    outbox_.clear();
+    port_used_.assign(graph_->degree(v), 0);
+    wakeup_ = kNoWakeup;
+  }
+};
+
+/// Base class for distributed algorithms. One instance per vertex; the
+/// simulator owns the instances and exposes them back to the harness after
+/// the run (for reading per-node outputs).
+class NodeProgram {
+ public:
+  virtual ~NodeProgram() = default;
+
+  /// Called every round the node is active: round 0 for all nodes, later
+  /// rounds only when mail arrived or a wake-up was scheduled. \p inbox is
+  /// sorted by port and contains at most one envelope per port.
+  virtual void on_round(Context& ctx, std::span<const Envelope> inbox) = 0;
+};
+
+inline void Context::send(std::uint32_t port, Message msg) {
+  DECYCLE_CHECK_MSG(port < degree(), "send: port out of range");
+  DECYCLE_CHECK_MSG(!port_used_[port], "CONGEST violation: two messages on one link in a round");
+  port_used_[port] = 1;
+  outbox_.push_back({port, std::move(msg)});
+}
+
+inline void Context::send_all(const Message& msg) {
+  for (std::uint32_t p = 0; p < degree(); ++p) send(p, msg);
+}
+
+inline void Context::request_wakeup_at(std::uint64_t round) {
+  DECYCLE_CHECK_MSG(round > round_, "wakeup must be scheduled in the future");
+  wakeup_ = wakeup_ == kNoWakeup ? round : std::min(wakeup_, round);
+}
+
+}  // namespace decycle::congest

@@ -1,0 +1,137 @@
+#include "congest/simulator.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/check.hpp"
+
+namespace decycle::congest {
+
+Simulator::Simulator(const graph::Graph& g, const graph::IdAssignment& ids,
+                     const ProgramFactory& factory)
+    : graph_(&g), ids_(&ids) {
+  DECYCLE_CHECK_MSG(ids.num_vertices() == g.num_vertices(),
+                    "ID assignment size does not match graph");
+  programs_.reserve(g.num_vertices());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    programs_.push_back(factory(v));
+    DECYCLE_CHECK_MSG(programs_.back() != nullptr, "program factory returned null");
+  }
+}
+
+namespace {
+
+struct StepResult {
+  std::vector<Context::Outgoing> outgoing;
+  std::uint64_t wakeup = ~std::uint64_t{0};
+};
+
+/// Receiver's port for neighbor \p from (adjacency is sorted).
+std::uint32_t port_of(const graph::Graph& g, Vertex receiver, Vertex from) {
+  const auto nb = g.neighbors(receiver);
+  const auto it = std::lower_bound(nb.begin(), nb.end(), from);
+  DECYCLE_CHECK(it != nb.end() && *it == from);
+  return static_cast<std::uint32_t>(it - nb.begin());
+}
+
+}  // namespace
+
+RunStats Simulator::run(const Options& options) {
+  const Vertex n = graph_->num_vertices();
+  std::vector<std::vector<Envelope>> inbox(n);
+  std::map<std::uint64_t, std::vector<Vertex>> wakeups;
+
+  std::vector<Vertex> active(n);
+  for (Vertex v = 0; v < n; ++v) active[v] = v;
+
+  RunStats stats;
+  std::uint64_t round = 0;
+
+  while (round <= options.max_rounds) {
+    // Fold scheduled wake-ups for this round into the active set.
+    if (const auto it = wakeups.find(round); it != wakeups.end()) {
+      active.insert(active.end(), it->second.begin(), it->second.end());
+      std::sort(active.begin(), active.end());
+      active.erase(std::unique(active.begin(), active.end()), active.end());
+      wakeups.erase(it);
+    }
+
+    if (active.empty()) {
+      if (wakeups.empty()) {
+        stats.halted = true;
+        break;
+      }
+      round = wakeups.begin()->first;  // fast-forward over idle rounds
+      continue;
+    }
+
+    // --- Step all active nodes (parallel when worthwhile). ---
+    std::vector<StepResult> results(active.size());
+    const auto step_range = [&](std::size_t begin, std::size_t end) {
+      Context ctx(*graph_, *ids_);
+      for (std::size_t i = begin; i < end; ++i) {
+        const Vertex v = active[i];
+        ctx.reset(v, round);
+        programs_[v]->on_round(ctx, inbox[v]);
+        results[i].outgoing = std::move(ctx.outbox_);
+        results[i].wakeup = ctx.wakeup_;
+      }
+    };
+    if (options.pool != nullptr && active.size() >= options.parallel_threshold) {
+      options.pool->parallel_for_chunked(active.size(), step_range);
+    } else {
+      step_range(0, active.size());
+    }
+
+    // Consumed inboxes must be cleared before any delivery: an active node
+    // may both read mail this round and receive fresh mail for the next one.
+    for (const Vertex v : active) inbox[v].clear();
+
+    // --- Deterministic merge: senders in ascending vertex order, so each
+    // receiver's inbox arrives sorted by its port numbering. ---
+    RoundStats rs;
+    rs.round = round;
+    rs.active_nodes = active.size();
+    std::vector<Vertex> next_active;
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      const Vertex from = active[i];
+      for (auto& out : results[i].outgoing) {
+        const Vertex dest = graph_->neighbors(from)[out.port];
+        // The message was *sent* either way (it occupies the link and counts
+        // towards the stats); the adversary removes it before delivery.
+        rs.messages += 1;
+        rs.bits += out.payload.bit_size();
+        rs.max_link_bits = std::max(rs.max_link_bits, out.payload.bit_size());
+        if (options.drop && options.drop(round, from, dest)) {
+          stats.dropped_messages += 1;
+          continue;
+        }
+        const std::uint32_t rport = port_of(*graph_, dest, from);
+        if (inbox[dest].empty()) next_active.push_back(dest);
+        inbox[dest].push_back(Envelope{rport, std::move(out.payload)});
+      }
+      if (results[i].wakeup != ~std::uint64_t{0}) {
+        wakeups[results[i].wakeup].push_back(from);
+      }
+    }
+    std::sort(next_active.begin(), next_active.end());
+    for (const Vertex v : next_active) {
+      std::sort(inbox[v].begin(), inbox[v].end(),
+                [](const Envelope& a, const Envelope& b) { return a.port < b.port; });
+    }
+
+    stats.rounds_executed += 1;
+    stats.total_messages += rs.messages;
+    stats.total_bits += rs.bits;
+    stats.max_link_bits = std::max(stats.max_link_bits, rs.max_link_bits);
+    stats.max_active_nodes = std::max(stats.max_active_nodes, rs.active_nodes);
+    if (options.record_rounds) stats.per_round.push_back(rs);
+
+    active = std::move(next_active);
+    ++round;
+  }
+
+  return stats;
+}
+
+}  // namespace decycle::congest

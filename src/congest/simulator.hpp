@@ -1,0 +1,79 @@
+/// \file simulator.hpp
+/// \brief Synchronous round-based CONGEST network simulator.
+///
+/// Execution model (paper §2.1): all nodes start simultaneously and proceed
+/// in synchronized rounds; in each round a node computes, sends at most one
+/// message per incident link, and receives what neighbors sent this round
+/// (delivered at the start of the next step). The simulator is event-driven:
+/// after round 0 (where every node runs) only nodes with incoming mail or a
+/// scheduled wake-up are stepped, so quiet regions of a large network cost
+/// nothing.
+///
+/// Determinism: node stepping may be spread across a thread pool, but
+/// delivery order is canonicalized (inboxes sorted by receiver port), so a
+/// run's outcome and statistics are bit-identical for any thread count —
+/// property-tested in tests/congest/simulator_test.cpp.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "congest/metrics.hpp"
+#include "congest/node.hpp"
+#include "graph/graph.hpp"
+#include "graph/ids.hpp"
+#include "util/thread_pool.hpp"
+
+namespace decycle::congest {
+
+class Simulator {
+ public:
+  /// \p factory builds the program for each vertex (same code everywhere,
+  /// per the model — but the factory sees the vertex so tests can inject
+  /// faults or roles).
+  using ProgramFactory = std::function<std::unique_ptr<NodeProgram>(Vertex)>;
+
+  /// Fault-injection hook: return true to silently drop the message sent at
+  /// \p round from \p from to \p to. Used by the fault experiments — the
+  /// tester must stay 1-sided under arbitrary message loss (a dropped
+  /// message can only lose detections, never fabricate a cycle).
+  using DropFilter = std::function<bool(std::uint64_t round, Vertex from, Vertex to)>;
+
+  struct Options {
+    std::uint64_t max_rounds = 1'000'000;  ///< safety cap
+    bool record_rounds = false;            ///< keep per-round stats (for T3/T5)
+    util::ThreadPool* pool = nullptr;      ///< optional parallel node stepping
+    std::size_t parallel_threshold = 256;  ///< min active nodes to go parallel
+    DropFilter drop;                       ///< optional message-loss adversary
+  };
+
+  Simulator(const graph::Graph& g, const graph::IdAssignment& ids, const ProgramFactory& factory);
+
+  /// Runs until the network quiesces (no mail in flight, no wake-ups) or the
+  /// round cap is hit.
+  RunStats run(const Options& options);
+  RunStats run() { return run(Options{}); }
+
+  /// Access to per-node programs after (or between) runs.
+  [[nodiscard]] NodeProgram& program(Vertex v) { return *programs_[v]; }
+  [[nodiscard]] const NodeProgram& program(Vertex v) const { return *programs_[v]; }
+
+  [[nodiscard]] const graph::Graph& graph() const noexcept { return *graph_; }
+  [[nodiscard]] const graph::IdAssignment& ids() const noexcept { return *ids_; }
+
+  /// Typed sweep over all programs (harness convenience).
+  template <typename P, typename Fn>
+  void for_each_program(Fn&& fn) const {
+    for (Vertex v = 0; v < graph_->num_vertices(); ++v) {
+      fn(v, static_cast<const P&>(*programs_[v]));
+    }
+  }
+
+ private:
+  const graph::Graph* graph_;
+  const graph::IdAssignment* ids_;
+  std::vector<std::unique_ptr<NodeProgram>> programs_;
+};
+
+}  // namespace decycle::congest

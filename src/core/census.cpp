@@ -1,0 +1,38 @@
+#include "core/census.hpp"
+
+#include "util/check.hpp"
+
+namespace decycle::core {
+
+CensusResult cycle_census(const graph::Graph& g, const graph::IdAssignment& ids,
+                          const CensusOptions& options) {
+  DECYCLE_CHECK_MSG(options.k_min >= 3, "census k_min must be at least 3");
+  DECYCLE_CHECK_MSG(options.k_min <= options.k_max, "census range is empty");
+
+  CensusResult out;
+  out.entries.reserve(options.k_max - options.k_min + 1);
+  for (unsigned k = options.k_min; k <= options.k_max; ++k) {
+    TesterOptions topt;
+    topt.k = k;
+    topt.epsilon = options.epsilon;
+    topt.repetitions = options.repetitions;
+    topt.detect = options.detect;
+    topt.pool = options.pool;
+    topt.seed = util::splitmix64(options.seed ^ util::splitmix64(k));
+    const TestVerdict verdict = test_ck_freeness(g, ids, topt);
+
+    CensusEntry entry;
+    entry.k = k;
+    entry.accepted = verdict.accepted;
+    entry.witness = verdict.witness;
+    entry.rounds = verdict.stats.rounds_executed;
+    entry.messages = verdict.stats.total_messages;
+    entry.bits = verdict.stats.total_bits;
+    out.total_rounds += entry.rounds;
+    out.total_messages += entry.messages;
+    out.entries.push_back(std::move(entry));
+  }
+  return out;
+}
+
+}  // namespace decycle::core

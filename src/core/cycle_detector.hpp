@@ -1,0 +1,63 @@
+/// \file cycle_detector.hpp
+/// \brief The deterministic single-edge checker: "is there a Ck through e?"
+///
+/// This is Phase 2 run in isolation — the subroutine Theorem 1's reduction
+/// produces. It is fully deterministic and does not rely on ε-farness: if
+/// any k-cycle passes through the given edge, some node rejects (Lemma 2),
+/// and every rejection carries a validated witness cycle. Experiment T4
+/// sweeps this checker against the exact oracle over every edge of random
+/// graphs.
+#pragma once
+
+#include <optional>
+
+#include "congest/simulator.hpp"
+#include "core/detect_state.hpp"
+#include "graph/graph.hpp"
+#include "graph/ids.hpp"
+
+namespace decycle::core {
+
+/// NodeProgram running EdgeDetectState for one fixed edge. All nodes know
+/// (u, v) up front — the dissemination of the chosen edge is Phase 1's job
+/// and is handled by the full tester.
+class EdgeCheckProgram final : public congest::NodeProgram {
+ public:
+  EdgeCheckProgram(const DetectParams& params, NodeId my_id, NodeId u, NodeId v)
+      : state_(params, my_id, u, v) {}
+
+  void on_round(congest::Context& ctx, std::span<const congest::Envelope> inbox) override;
+
+  [[nodiscard]] const EdgeDetectState& state() const noexcept { return state_; }
+
+ private:
+  EdgeDetectState state_;
+};
+
+struct EdgeDetectionResult {
+  bool found = false;
+  std::vector<graph::Vertex> witness;  ///< validated k-cycle (empty if !found)
+  graph::Vertex rejecting_vertex = graph::kInvalidVertex;
+  bool overflow = false;               ///< naive pruning hit its cap
+  std::size_t max_bundle_sequences = 0;  ///< max |S| in any broadcast (Lemma 3)
+  /// max |S| per phase round g (index 0 = seeds), across all nodes.
+  std::vector<std::size_t> max_bundle_by_round;
+  congest::RunStats stats;
+};
+
+struct EdgeDetectionOptions {
+  DetectParams detect;
+  util::ThreadPool* pool = nullptr;
+  bool record_rounds = false;
+  bool validate_witness = true;
+  congest::Simulator::DropFilter drop;  ///< optional message-loss adversary
+};
+
+/// Runs the checker for edge \p e on the CONGEST simulator and aggregates
+/// the per-node verdicts. \p e must be an edge of \p g.
+[[nodiscard]] EdgeDetectionResult detect_cycle_through_edge(const graph::Graph& g,
+                                                            const graph::IdAssignment& ids,
+                                                            graph::Edge e,
+                                                            const EdgeDetectionOptions& options);
+
+}  // namespace decycle::core

@@ -1,0 +1,127 @@
+#include "core/detect_state.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace decycle::core {
+
+EdgeDetectState::EdgeDetectState(const DetectParams& params, NodeId my_id, NodeId u, NodeId v)
+    : params_(params), my_id_(my_id), u_(u), v_(v) {
+  DECYCLE_CHECK_MSG(params.k >= 3, "k must be at least 3");
+  DECYCLE_CHECK_MSG(u != v, "edge endpoints must differ");
+  PrunerConfig cfg;
+  cfg.k = params.k;
+  cfg.fake_ids = params.fake_ids;
+  cfg.naive_cap = params.naive_cap;
+  pruner_ = make_pruner(params.pruning, cfg);
+  sent_counts_.assign(half() + 1, 0);
+}
+
+void EdgeDetectState::trace(TraceEvent::Kind kind, std::uint64_t round,
+                            const IdSeq& sequence) const {
+  if (params_.trace != nullptr) {
+    params_.trace->record(TraceEvent{kind, round, my_id_, sequence});
+  }
+}
+
+std::vector<IdSeq> EdgeDetectState::seed() {
+  std::vector<IdSeq> out;
+  if (my_id_ == u_ || my_id_ == v_) {
+    IdSeq self;
+    self.push_back(my_id_);
+    trace(TraceEvent::Kind::kSeed, 0, self);
+    out.push_back(std::move(self));
+    sent_counts_[0] = 1;
+  }
+  return out;
+}
+
+std::vector<IdSeq> EdgeDetectState::step(std::uint64_t g, std::vector<IdSeq> received) {
+  DECYCLE_CHECK_MSG(g >= 1 && g <= half(), "phase round out of range");
+
+  // Instruction 11-12: R is a *set* of sequences of length g, with every
+  // sequence containing this node's own ID removed.
+  std::erase_if(received, [&](const IdSeq& s) { return seq_contains(s, my_id_); });
+  for (const IdSeq& s : received) {
+    DECYCLE_CHECK_MSG(s.size() == g, "received sequence length does not match round");
+  }
+  canonicalize(received);
+  for (const IdSeq& s : received) trace(TraceEvent::Kind::kReceive, g, s);
+
+  if (g == half()) {
+    final_check(received);
+    if (pair_) {
+      const auto cycle = witness_cycle_ids();
+      trace(TraceEvent::Kind::kReject, g, IdSeq(std::span<const NodeId>(cycle)));
+    }
+    return {};
+  }
+  if (received.empty()) return {};
+
+  const auto t = static_cast<unsigned>(g + 1);  // paper round index
+  Pruner::Result selected = pruner_->select(received, t);
+  overflow_ = overflow_ || selected.overflow;
+  if (params_.trace != nullptr) {
+    for (const IdSeq& s : received) {
+      const bool kept = std::find(selected.accepted.begin(), selected.accepted.end(), s) !=
+                        selected.accepted.end();
+      trace(kept ? TraceEvent::Kind::kKeep : TraceEvent::Kind::kDrop, g, s);
+    }
+  }
+
+  // Instruction 24: append own ID to every kept sequence.
+  std::vector<IdSeq> out = std::move(selected.accepted);
+  for (IdSeq& s : out) s.push_back(my_id_);
+  for (const IdSeq& s : out) trace(TraceEvent::Kind::kSend, g, s);
+
+  if (params_.k % 2 == 0 && g == half() - 1) {
+    last_sent_ = out;  // S feeds the even-k final check (erratum E-A)
+  }
+  sent_counts_[g] = std::max(sent_counts_[g], out.size());
+  return out;
+}
+
+void EdgeDetectState::final_check(std::span<const IdSeq> received) {
+  // Erratum E-B (DESIGN.md §2): received sequences containing my own ID were
+  // already filtered by step(); the pair structure below (odd: two received;
+  // even: one own S member x one received) is what Lemma 2's proof actually
+  // certifies, and each hit reconstructs a genuine k-cycle.
+  const unsigned k = params_.k;
+  if (k % 2 == 1) {
+    for (std::size_t i = 0; i < received.size() && !pair_; ++i) {
+      for (std::size_t j = i + 1; j < received.size() && !pair_; ++j) {
+        if (!seqs_disjoint(received[i], received[j])) continue;
+        DECYCLE_CHECK(union_size(received[i], received[j], my_id_) == k);
+        pair_ = FinalPair{received[i], received[j]};
+      }
+    }
+    return;
+  }
+  for (const IdSeq& own : last_sent_) {
+    for (const IdSeq& recv : received) {
+      if (!seqs_disjoint(own, recv)) continue;
+      DECYCLE_CHECK(union_size(own, recv, my_id_) == k);
+      pair_ = FinalPair{own, recv};
+      return;
+    }
+  }
+}
+
+std::vector<NodeId> EdgeDetectState::witness_cycle_ids() const {
+  std::vector<NodeId> cycle;
+  if (!pair_) return cycle;
+  const unsigned k = params_.k;
+  cycle.reserve(k);
+  // Odd k: first-path, this node, reversed second-path.
+  // Even k: first already ends with this node's ID; append reversed second.
+  for (const NodeId id : pair_->first) cycle.push_back(id);
+  if (k % 2 == 1) cycle.push_back(my_id_);
+  for (std::size_t i = pair_->second.size(); i > 0; --i) {
+    cycle.push_back(pair_->second[i - 1]);
+  }
+  DECYCLE_CHECK(cycle.size() == k);
+  return cycle;
+}
+
+}  // namespace decycle::core

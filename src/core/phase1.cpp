@@ -1,0 +1,46 @@
+#include "core/phase1.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace decycle::core {
+
+std::uint64_t rank_range_for(std::uint64_t n) noexcept {
+  constexpr std::uint64_t kCap = std::uint64_t{1} << 62;
+  const std::uint64_t n2 = n >= (std::uint64_t{1} << 31) ? kCap : n * n;
+  if (n2 >= (std::uint64_t{1} << 31)) return kCap;
+  return std::max<std::uint64_t>(4, n2 * n2);
+}
+
+std::uint64_t draw_rank(util::Rng& rng, std::uint64_t range) noexcept {
+  return rng.next_in(1, range);
+}
+
+bool unique_min_rank_trial(std::size_t m, util::Rng& rng) {
+  DECYCLE_CHECK_MSG(m >= 1, "need at least one edge");
+  const std::uint64_t range = static_cast<std::uint64_t>(m) * m;  // paper: [1, m²]
+  std::uint64_t best = ~std::uint64_t{0};
+  std::size_t best_count = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::uint64_t r = draw_rank(rng, range);
+    if (r < best) {
+      best = r;
+      best_count = 1;
+    } else if (r == best) {
+      ++best_count;
+    }
+  }
+  return best_count == 1;
+}
+
+std::size_t recommended_repetitions(double epsilon) noexcept {
+  if (epsilon <= 0.0 || epsilon >= 1.0) epsilon = std::clamp(epsilon, 1e-6, 1.0);
+  const double e2 = std::exp(2.0);
+  const double reps = std::ceil(e2 * std::log(3.0) / epsilon);
+  return static_cast<std::size_t>(reps);
+}
+
+}  // namespace decycle::core

@@ -1,0 +1,50 @@
+/// \file phase1.hpp
+/// \brief Phase 1 of the tester: random edge ranks and minimum selection.
+///
+/// Every edge is owned by its smaller-ID endpoint; the owner draws a uniform
+/// rank and ships it across the edge (one round, one O(log n)-bit message).
+/// Each node then works for its minimum-rank incident edge, and the
+/// prioritized-search rule (smaller (rank, u, v) wins) arbitrates between
+/// concurrent executions. Lemma 5: with ranks from [1, m²] the minimum is
+/// unique with probability >= 1/e² — measured by experiment T6.
+///
+/// The distributed implementation cannot know m, so it draws from
+/// [1, R(n)] with R(n) = min(n⁴, 2⁶²) >= m²; a larger range only lowers the
+/// collision probability, so Lemma 5's bound still applies (and the rank
+/// still fits in O(log n) bits).
+#pragma once
+
+#include <cstdint>
+
+#include "core/sequence.hpp"
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace decycle::core {
+
+/// Identity of a Phase-2 execution: the edge being checked plus its rank.
+/// Ordering is (rank, u, v) lexicographic — the paper's tie-breaking "based
+/// on the ID of extremities". Smaller wins.
+struct EdgePriority {
+  std::uint64_t rank = ~std::uint64_t{0};
+  NodeId u = 0;  ///< smaller endpoint ID
+  NodeId v = 0;  ///< larger endpoint ID
+
+  friend bool operator==(const EdgePriority&, const EdgePriority&) = default;
+  friend auto operator<=>(const EdgePriority& a, const EdgePriority& b) = default;
+};
+
+/// Rank range used by the distributed tester: min(n⁴, 2⁶²), saturating.
+[[nodiscard]] std::uint64_t rank_range_for(std::uint64_t n) noexcept;
+
+/// Uniform rank in [1, range].
+[[nodiscard]] std::uint64_t draw_rank(util::Rng& rng, std::uint64_t range) noexcept;
+
+/// One Lemma 5 trial: draws m ranks from [1, m²] and reports whether the
+/// minimum is unique (experiment T6).
+[[nodiscard]] bool unique_min_rank_trial(std::size_t m, util::Rng& rng);
+
+/// ⌈e² · ln 3 / ε⌉ — the amplification count from the proof of Theorem 1.
+[[nodiscard]] std::size_t recommended_repetitions(double epsilon) noexcept;
+
+}  // namespace decycle::core

@@ -1,0 +1,77 @@
+#include "core/representative_family.hpp"
+
+#include "util/small_vector.hpp"
+#include "util/stats.hpp"
+
+namespace decycle::core {
+
+namespace {
+
+class HittingSetSearch {
+ public:
+  HittingSetSearch(std::span<const IdSeq> family, const IdSeq& avoid, unsigned budget)
+      : family_(family), avoid_(avoid), budget_(budget) {}
+
+  [[nodiscard]] bool run() { return search(); }
+
+ private:
+  [[nodiscard]] bool is_hit(const IdSeq& set) const {
+    for (const NodeId x : chosen_) {
+      if (set.contains(x)) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool search() {
+    const IdSeq* unhit = nullptr;
+    for (const IdSeq& set : family_) {
+      if (!is_hit(set)) {
+        unhit = &set;
+        break;
+      }
+    }
+    if (unhit == nullptr) return true;  // everything hit within budget
+    if (chosen_.size() >= budget_) return false;
+    // Any valid hitting set must contain a usable element of the first
+    // un-hit set, so branching over them is complete.
+    for (const NodeId e : *unhit) {
+      if (avoid_.contains(e)) continue;
+      chosen_.push_back(e);
+      if (search()) return true;
+      chosen_.pop_back();
+    }
+    return false;
+  }
+
+  std::span<const IdSeq> family_;
+  const IdSeq& avoid_;
+  unsigned budget_;
+  util::SmallVector<NodeId, 16> chosen_;
+};
+
+}  // namespace
+
+bool exists_bounded_hitting_set(std::span<const IdSeq> family, const IdSeq& avoid,
+                                unsigned budget) {
+  return HittingSetSearch(family, avoid, budget).run();
+}
+
+std::vector<std::size_t> representative_subfamily(std::span<const IdSeq> family, unsigned q) {
+  std::vector<std::size_t> chosen_indices;
+  std::vector<IdSeq> chosen_sets;
+  for (std::size_t i = 0; i < family.size(); ++i) {
+    // Accept L iff some size-q completion avoiding L survives, i.e. the
+    // accepted sets admit a hitting set of size <= q inside V \ L (smaller
+    // hitting sets extend to size q with fresh padding elements, which is
+    // always possible over the unbounded universe the lemma assumes).
+    if (exists_bounded_hitting_set(chosen_sets, family[i], q)) {
+      chosen_indices.push_back(i);
+      chosen_sets.push_back(family[i]);
+    }
+  }
+  return chosen_indices;
+}
+
+double ehm_bound(unsigned p, unsigned q) noexcept { return util::binomial_coefficient(p + q, p); }
+
+}  // namespace decycle::core

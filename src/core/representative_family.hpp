@@ -1,0 +1,44 @@
+/// \file representative_family.hpp
+/// \brief The Erdős–Hajnal–Moon representative-family computation.
+///
+/// The paper (§1.2) observes that its pruning technique is a distributed
+/// implementation of a 1964 lemma of Erdős, Hajnal and Moon: for any family
+/// F of sets of size at most p over a universe V and any q, there is a
+/// subfamily F̂ ⊆ F with |F̂| <= C(p+q, p) such that for every C ⊆ V with
+/// |C| <= q, if some L ∈ F avoids C then some L̂ ∈ F̂ avoids C.
+///
+/// This module exposes the computation centrally (used directly in tests and
+/// by the sequential longest-path-style applications the lemma is known for)
+/// and provides the bounded hitting-set search that both it and the
+/// distributed pruner (pruning.cpp) are built on. The greedy construction
+/// here accepts L iff the previously accepted sets admit a hitting set of
+/// size <= q avoiding L — exactly the surviving-𝒳 criterion of Algorithm 1,
+/// so the distributed pruner and this module cannot drift apart.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/sequence.hpp"
+
+namespace decycle::core {
+
+/// True iff there exists H with |H| <= budget, H ∩ avoid = ∅, and
+/// H ∩ F_i != ∅ for every F_i in \p family. Complete bounded-depth
+/// branch-and-bound on the first un-hit set; O(p^budget · |family|) worst
+/// case with p = max set size.
+[[nodiscard]] bool exists_bounded_hitting_set(std::span<const IdSeq> family, const IdSeq& avoid,
+                                              unsigned budget);
+
+/// Greedy q-representative subfamily: returns indices into \p family (in
+/// input order) forming F̂. Guarantees the representation property above; the
+/// size is bounded by (q+1)^p (Lemma 3's argument), which exceeds the
+/// optimal C(p+q, p) but is achieved constructively in one pass.
+[[nodiscard]] std::vector<std::size_t> representative_subfamily(std::span<const IdSeq> family,
+                                                                unsigned q);
+
+/// The Erdős–Hajnal–Moon cardinality bound C(p+q, p).
+[[nodiscard]] double ehm_bound(unsigned p, unsigned q) noexcept;
+
+}  // namespace decycle::core

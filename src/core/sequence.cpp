@@ -1,0 +1,42 @@
+#include "core/sequence.hpp"
+
+#include <algorithm>
+
+namespace decycle::core {
+
+bool seqs_disjoint(const IdSeq& a, const IdSeq& b) noexcept {
+  for (const NodeId x : a) {
+    if (b.contains(x)) return false;
+  }
+  return true;
+}
+
+std::size_t union_size(const IdSeq& a, const IdSeq& b, NodeId extra) {
+  util::SmallVector<NodeId, 17> all;
+  for (const NodeId x : a) all.push_back(x);
+  for (const NodeId x : b) all.push_back(x);
+  all.push_back(extra);
+  std::sort(all.begin(), all.end());
+  std::size_t distinct = 0;
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (i == 0 || all[i] != all[i - 1]) ++distinct;
+  }
+  return distinct;
+}
+
+void canonicalize(std::vector<IdSeq>& seqs) {
+  std::sort(seqs.begin(), seqs.end());
+  seqs.erase(std::unique(seqs.begin(), seqs.end()), seqs.end());
+}
+
+std::string to_string(const IdSeq& seq) {
+  std::string out = "(";
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += std::to_string(seq[i]);
+  }
+  out += ')';
+  return out;
+}
+
+}  // namespace decycle::core

@@ -1,0 +1,42 @@
+/// \file sequence.hpp
+/// \brief Ordered ID sequences — the unit of communication in Algorithm 1.
+///
+/// A sequence is a simple path's ID trace (Lemma 1): ordered, duplicate-free,
+/// one extremity at u or v, the other at the most recent sender. Sequences
+/// never exceed ⌊k/2⌋ entries, so they live in inline storage.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/ids.hpp"
+#include "util/small_vector.hpp"
+
+namespace decycle::core {
+
+using graph::NodeId;
+
+/// Inline capacity 8 covers k <= 17 without allocation.
+using IdSeq = util::SmallVector<NodeId, 8>;
+
+/// True iff \p seq contains \p id.
+[[nodiscard]] inline bool seq_contains(const IdSeq& seq, NodeId id) noexcept {
+  return seq.contains(id);
+}
+
+/// True iff the two sequences share no ID (O(|a|·|b|), both tiny).
+[[nodiscard]] bool seqs_disjoint(const IdSeq& a, const IdSeq& b) noexcept;
+
+/// |set(a) ∪ set(b) ∪ {extra}| — the quantity of Instruction 37.
+[[nodiscard]] std::size_t union_size(const IdSeq& a, const IdSeq& b, NodeId extra);
+
+/// Sorts + dedupes a batch of sequences (deterministic processing order for
+/// the pruner; the paper's R is a set).
+void canonicalize(std::vector<IdSeq>& seqs);
+
+/// "(3 1 4)" — for traces and test failure messages.
+[[nodiscard]] std::string to_string(const IdSeq& seq);
+
+}  // namespace decycle::core

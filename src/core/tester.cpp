@@ -1,0 +1,226 @@
+#include "core/tester.hpp"
+
+#include <algorithm>
+
+#include "core/wire.hpp"
+#include "core/witness.hpp"
+#include "util/check.hpp"
+
+namespace decycle::core {
+
+namespace {
+// Message tags.
+constexpr std::uint64_t kTagRank = 1;
+constexpr std::uint64_t kTagSequences = 2;
+}  // namespace
+
+TesterProgram::TesterProgram(const DetectParams& params, std::size_t repetitions,
+                             std::uint64_t seed, std::uint64_t n, NodeId my_id)
+    : params_(params),
+      repetitions_(repetitions),
+      seed_(seed),
+      rank_range_(rank_range_for(n)),
+      my_id_(my_id),
+      half_(params.k / 2),
+      rep_len_(static_cast<std::uint64_t>(params.k / 2) + 2),
+      max_sent_by_round_(half_ + 1, 0) {
+  DECYCLE_CHECK_MSG(repetitions_ >= 1, "tester needs at least one repetition");
+}
+
+void TesterProgram::on_round(congest::Context& ctx, std::span<const congest::Envelope> inbox) {
+  const std::uint64_t round = ctx.round();
+  const std::uint64_t rep = round / rep_len_;
+  const std::uint64_t phase = round % rep_len_;
+  if (rep >= repetitions_) return;
+
+  if (phase == 0) {
+    start_repetition(ctx, rep);
+  } else if (phase == 1) {
+    select_and_seed(ctx, inbox);
+  } else {
+    phase2_round(ctx, inbox, phase - 1);
+  }
+}
+
+void TesterProgram::start_repetition(congest::Context& ctx, std::size_t rep) {
+  // Fresh per-repetition state.
+  current_.reset();
+  state_.reset();
+  port_rank_.assign(ctx.degree(), 0);
+
+  // Deterministic per-(seed, repetition, node) stream; draws happen in port
+  // order, so the rank of each edge is independent of scheduling.
+  util::Rng rng = util::Rng(seed_).fork(rep).fork(my_id_);
+  for (std::uint32_t port = 0; port < ctx.degree(); ++port) {
+    const NodeId other = ctx.neighbor_id(port);
+    if (my_id_ < other) {  // this node owns the edge and assigns its rank
+      const std::uint64_t rank = draw_rank(rng, rank_range_);
+      port_rank_[port] = rank;
+      congest::MessageWriter w;
+      w.put_u64(kTagRank);
+      w.put_u64(rank);
+      ctx.send(port, w.finish());
+    }
+  }
+
+  // Every node must run the selection phase even if it receives no rank
+  // mail (e.g. a local-minimum-ID node owns all its incident edges).
+  ctx.request_wakeup_at(ctx.round() + 1);
+  (void)rep;
+}
+
+void TesterProgram::select_and_seed(congest::Context& ctx,
+                                    std::span<const congest::Envelope> inbox) {
+  for (const congest::Envelope& env : inbox) {
+    congest::MessageReader r(env.payload);
+    const std::uint64_t tag = r.get_u64();
+    DECYCLE_CHECK_MSG(tag == kTagRank, "unexpected message in rank round");
+    port_rank_[env.port] = r.get_u64();
+  }
+  const std::uint64_t rep = ctx.round() / rep_len_;
+  if (rep + 1 < repetitions_) {
+    ctx.request_wakeup_at((rep + 1) * rep_len_);  // next repetition's rank phase
+  }
+  if (ctx.degree() == 0) return;  // isolated node: nothing to test
+
+  // Minimum-(rank, u, v) incident edge (Phase 1 selection). A rank can be
+  // missing if the owner's rank message was lost (fault experiments); such
+  // edges are simply not candidates here — the owner side still seeds them,
+  // and soundness never depends on delivery.
+  std::optional<EdgePriority> best;
+  for (std::uint32_t port = 0; port < ctx.degree(); ++port) {
+    if (port_rank_[port] == 0) continue;
+    const NodeId other = ctx.neighbor_id(port);
+    const EdgePriority ep{port_rank_[port], std::min(my_id_, other), std::max(my_id_, other)};
+    if (!best || ep < *best) best = ep;
+  }
+  if (!best) return;  // every incident rank was lost this repetition
+  current_ = *best;
+  state_.emplace(params_, my_id_, current_->u, current_->v);
+
+  // This node is an endpoint of its chosen edge, so it always seeds.
+  const auto seqs = state_->seed();
+  DECYCLE_CHECK(!seqs.empty());
+  max_sent_by_round_[0] = std::max(max_sent_by_round_[0], seqs.size());
+  broadcast_sequences(ctx, seqs);
+}
+
+void TesterProgram::phase2_round(congest::Context& ctx, std::span<const congest::Envelope> inbox,
+                                 std::uint64_t g) {
+  if (g > half_) return;
+
+  // First pass: the highest-priority edge mentioned this round (prioritized
+  // search: smaller (rank, u, v) preempts).
+  struct Incoming {
+    EdgePriority ep;
+    std::vector<IdSeq> seqs;
+  };
+  std::vector<Incoming> messages;
+  messages.reserve(inbox.size());
+  std::optional<EdgePriority> best = current_;
+  for (const congest::Envelope& env : inbox) {
+    congest::MessageReader r(env.payload);
+    const std::uint64_t tag = r.get_u64();
+    DECYCLE_CHECK_MSG(tag == kTagSequences, "unexpected message in phase-2 round");
+    Incoming in;
+    in.ep.rank = r.get_u64();
+    in.ep.u = r.get_u64();
+    in.ep.v = r.get_u64();
+    in.seqs = read_sequences(r);
+    if (!best || in.ep < *best) best = in.ep;
+    messages.push_back(std::move(in));
+  }
+  if (!best) return;
+
+  if (!current_ || *best < *current_) {
+    // Switch to the higher-priority edge; prior execution state is dropped.
+    if (current_) ++switches_;
+    current_ = *best;
+    state_.emplace(params_, my_id_, current_->u, current_->v);
+  }
+
+  std::vector<IdSeq> received;
+  for (Incoming& in : messages) {
+    if (in.ep == *current_) {
+      received.insert(received.end(), std::make_move_iterator(in.seqs.begin()),
+                      std::make_move_iterator(in.seqs.end()));
+    } else {
+      ++discarded_;  // lower-priority execution: message dropped
+    }
+  }
+  if (received.empty()) return;
+
+  auto to_send = state_->step(g, std::move(received));
+  overflow_ = overflow_ || state_->overflowed();
+
+  if (g == half_) {
+    if (state_->rejected() && witness_ids_.empty()) {
+      witness_ids_ = state_->witness_cycle_ids();
+      reject_rep_ = static_cast<std::size_t>(ctx.round() / rep_len_);
+    }
+    return;
+  }
+  if (!to_send.empty()) {
+    max_sent_by_round_[g] = std::max(max_sent_by_round_[g], to_send.size());
+    broadcast_sequences(ctx, to_send);
+  }
+}
+
+void TesterProgram::broadcast_sequences(congest::Context& ctx, std::span<const IdSeq> seqs) {
+  congest::MessageWriter w;
+  w.put_u64(kTagSequences);
+  w.put_u64(current_->rank);
+  w.put_u64(current_->u);
+  w.put_u64(current_->v);
+  write_sequences(w, seqs);
+  const congest::Message msg = w.finish();
+  ctx.send_all(msg);
+}
+
+TestVerdict test_ck_freeness(const graph::Graph& g, const graph::IdAssignment& ids,
+                             const TesterOptions& options) {
+  DECYCLE_CHECK_MSG(options.k >= 3, "k must be at least 3");
+  TestVerdict verdict;
+  verdict.repetitions =
+      options.repetitions != 0 ? options.repetitions : recommended_repetitions(options.epsilon);
+
+  DetectParams params = options.detect;
+  params.k = options.k;
+
+  congest::Simulator sim(g, ids, [&](graph::Vertex v) {
+    return std::make_unique<TesterProgram>(params, verdict.repetitions, options.seed,
+                                           g.num_vertices(), ids.id_of(v));
+  });
+
+  congest::Simulator::Options sim_options;
+  sim_options.pool = options.pool;
+  sim_options.record_rounds = options.record_rounds;
+  sim_options.drop = options.drop;
+  sim_options.max_rounds =
+      verdict.repetitions * (static_cast<std::uint64_t>(options.k / 2) + 2) + 4;
+  verdict.stats = sim.run(sim_options);
+
+  sim.for_each_program<TesterProgram>([&](graph::Vertex vert, const TesterProgram& prog) {
+    verdict.overflow = verdict.overflow || prog.overflowed();
+    verdict.total_switches += prog.switches();
+    verdict.total_discarded += prog.discarded_messages();
+    for (const std::size_t count : prog.max_sent_by_round()) {
+      verdict.max_bundle_sequences = std::max(verdict.max_bundle_sequences, count);
+    }
+    if (prog.rejected()) {
+      verdict.accepted = false;
+      verdict.rejecting_nodes += 1;
+      if (verdict.witness.empty()) {
+        if (options.validate_witnesses) {
+          verdict.witness = validated_witness_vertices(g, ids, prog.witness_ids());
+        } else {
+          for (const NodeId id : prog.witness_ids()) verdict.witness.push_back(ids.vertex_of(id));
+        }
+      }
+    }
+    (void)vert;
+  });
+  return verdict;
+}
+
+}  // namespace decycle::core

@@ -1,0 +1,71 @@
+#include "core/trace.hpp"
+
+#include <algorithm>
+
+namespace decycle::core {
+
+const char* trace_kind_name(TraceEvent::Kind kind) noexcept {
+  switch (kind) {
+    case TraceEvent::Kind::kSeed: return "seed";
+    case TraceEvent::Kind::kReceive: return "recv";
+    case TraceEvent::Kind::kKeep: return "keep";
+    case TraceEvent::Kind::kDrop: return "drop";
+    case TraceEvent::Kind::kSend: return "send";
+    case TraceEvent::Kind::kReject: return "REJECT";
+  }
+  return "?";
+}
+
+namespace {
+
+bool event_order(const TraceEvent& a, const TraceEvent& b) {
+  if (a.round != b.round) return a.round < b.round;
+  if (a.node != b.node) return a.node < b.node;
+  if (a.kind != b.kind) return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+  return a.sequence < b.sequence;
+}
+
+}  // namespace
+
+void TraceSink::record(TraceEvent event) {
+  const std::lock_guard lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> TraceSink::events() const {
+  const std::lock_guard lock(mutex_);
+  std::vector<TraceEvent> out = events_;
+  std::stable_sort(out.begin(), out.end(), event_order);
+  return out;
+}
+
+std::size_t TraceSink::count(TraceEvent::Kind kind) const {
+  const std::lock_guard lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& e : events_) {
+    if (e.kind == kind) ++total;
+  }
+  return total;
+}
+
+std::vector<TraceEvent> TraceSink::events_for(NodeId node) const {
+  auto all = events();
+  std::erase_if(all, [node](const TraceEvent& e) { return e.node != node; });
+  return all;
+}
+
+std::string TraceSink::render() const {
+  std::string out;
+  for (const auto& e : events()) {
+    out += "round " + std::to_string(e.round) + ": node " + std::to_string(e.node) + ' ' +
+           trace_kind_name(e.kind) + ' ' + to_string(e.sequence) + '\n';
+  }
+  return out;
+}
+
+void TraceSink::clear() {
+  const std::lock_guard lock(mutex_);
+  events_.clear();
+}
+
+}  // namespace decycle::core

@@ -1,0 +1,37 @@
+/// \file wire.hpp
+/// \brief Serialization of sequence bundles (shared by detector and tester).
+///
+/// Bundle layout: varint count, then per sequence varint length followed by
+/// the IDs. Fake IDs never travel (Instruction 20 keeps S to existing IDs),
+/// so all wire IDs are plain unsigned values.
+#pragma once
+
+#include <vector>
+
+#include "congest/message.hpp"
+#include "core/sequence.hpp"
+
+namespace decycle::core {
+
+inline void write_sequences(congest::MessageWriter& w, std::span<const IdSeq> seqs) {
+  w.put_u64(seqs.size());
+  for (const IdSeq& s : seqs) {
+    w.put_u64(s.size());
+    for (const NodeId id : s) w.put_u64(id);
+  }
+}
+
+inline std::vector<IdSeq> read_sequences(congest::MessageReader& r) {
+  const std::uint64_t count = r.get_u64();
+  std::vector<IdSeq> out;
+  out.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t len = r.get_u64();
+    IdSeq s;
+    for (std::uint64_t j = 0; j < len; ++j) s.push_back(r.get_u64());
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace decycle::core

@@ -1,0 +1,76 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace decycle::graph {
+
+Graph Graph::from_edges(Vertex n, std::span<const Edge> edges) {
+  Graph g;
+  g.n_ = n;
+
+  std::vector<Edge> canon;
+  canon.reserve(edges.size());
+  for (const auto& [a, b] : edges) {
+    DECYCLE_CHECK_MSG(a != b, "self-loops are not allowed in a simple graph");
+    DECYCLE_CHECK_MSG(a < n && b < n, "edge endpoint out of range");
+    canon.emplace_back(std::min(a, b), std::max(a, b));
+  }
+  std::sort(canon.begin(), canon.end());
+  canon.erase(std::unique(canon.begin(), canon.end()), canon.end());
+  g.edges_ = std::move(canon);
+
+  g.offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (const auto& [a, b] : g.edges_) {
+    ++g.offsets_[a + 1];
+    ++g.offsets_[b + 1];
+  }
+  for (std::size_t v = 0; v < n; ++v) g.offsets_[v + 1] += g.offsets_[v];
+
+  g.adjacency_.resize(2 * g.edges_.size());
+  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& [a, b] : g.edges_) {
+    g.adjacency_[cursor[a]++] = b;
+    g.adjacency_[cursor[b]++] = a;
+  }
+  for (Vertex v = 0; v < n; ++v) {
+    auto nb = std::span<Vertex>(g.adjacency_.data() + g.offsets_[v],
+                                g.adjacency_.data() + g.offsets_[v + 1]);
+    std::sort(nb.begin(), nb.end());
+    g.max_degree_ = std::max(g.max_degree_, nb.size());
+  }
+  return g;
+}
+
+bool Graph::has_edge(Vertex u, Vertex v) const noexcept {
+  if (u >= n_ || v >= n_ || u == v) return false;
+  const auto nb = neighbors(u);
+  return std::binary_search(nb.begin(), nb.end(), v);
+}
+
+EdgeId Graph::edge_id(Vertex u, Vertex v) const noexcept {
+  const Edge key{std::min(u, v), std::max(u, v)};
+  const auto it = std::lower_bound(edges_.begin(), edges_.end(), key);
+  if (it == edges_.end() || *it != key) return kInvalidEdge;
+  return static_cast<EdgeId>(it - edges_.begin());
+}
+
+void GraphBuilder::add_edge(Vertex u, Vertex v) {
+  DECYCLE_CHECK_MSG(u != v, "self-loops are not allowed in a simple graph");
+  edges_.emplace_back(std::min(u, v), std::max(u, v));
+  n_ = std::max(n_, static_cast<Vertex>(std::max(u, v) + 1));
+}
+
+Graph disjoint_union(std::span<const Graph> parts) {
+  GraphBuilder builder;
+  Vertex base = 0;
+  for (const Graph& part : parts) {
+    for (const auto& [a, b] : part.edges()) builder.add_edge(base + a, base + b);
+    base += part.num_vertices();
+    builder.ensure_vertices(base);
+  }
+  return builder.build();
+}
+
+}  // namespace decycle::graph

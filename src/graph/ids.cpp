@@ -1,0 +1,59 @@
+#include "graph/ids.hpp"
+
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace decycle::graph {
+
+void IdAssignment::index() {
+  by_id_.clear();
+  by_id_.reserve(ids_.size() * 2);
+  max_id_ = 0;
+  for (Vertex v = 0; v < ids_.size(); ++v) {
+    const auto [it, inserted] = by_id_.emplace(ids_[v], v);
+    (void)it;
+    DECYCLE_CHECK_MSG(inserted, "node IDs must be distinct");
+    max_id_ = std::max(max_id_, ids_[v]);
+  }
+}
+
+IdAssignment IdAssignment::identity(Vertex n) {
+  IdAssignment a;
+  a.ids_.resize(n);
+  std::iota(a.ids_.begin(), a.ids_.end(), NodeId{0});
+  a.index();
+  return a;
+}
+
+IdAssignment IdAssignment::random_quadratic(Vertex n, util::Rng& rng) {
+  IdAssignment a;
+  const std::uint64_t universe = std::max<std::uint64_t>(4, static_cast<std::uint64_t>(n) * n);
+  a.ids_ = rng.sample_distinct(universe, n);
+  a.index();
+  return a;
+}
+
+IdAssignment IdAssignment::shuffled(Vertex n, util::Rng& rng) {
+  IdAssignment a;
+  a.ids_.resize(n);
+  std::iota(a.ids_.begin(), a.ids_.end(), NodeId{0});
+  rng.shuffle(std::span<NodeId>(a.ids_));
+  a.index();
+  return a;
+}
+
+IdAssignment IdAssignment::from_ids(std::vector<NodeId> ids) {
+  IdAssignment a;
+  a.ids_ = std::move(ids);
+  a.index();
+  return a;
+}
+
+Vertex IdAssignment::vertex_of(NodeId id) const {
+  const auto it = by_id_.find(id);
+  DECYCLE_CHECK_MSG(it != by_id_.end(), "unknown node ID");
+  return it->second;
+}
+
+}  // namespace decycle::graph

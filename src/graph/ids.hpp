@@ -1,0 +1,52 @@
+/// \file ids.hpp
+/// \brief Node identity assignment, decoupled from network topology.
+///
+/// In the CONGEST model nodes carry arbitrary distinct IDs from a range
+/// polynomial in n (paper §2.1), so every ID fits in O(log n) bits. The
+/// algorithm's behaviour (edge ownership = smaller-ID endpoint, tie breaking)
+/// depends on the ID assignment, so experiments run both the identity
+/// assignment and adversarially shuffled / sparse random assignments.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace decycle::graph {
+
+using NodeId = std::uint64_t;
+
+class IdAssignment {
+ public:
+  /// vertex v gets ID v (the simplest legal assignment).
+  [[nodiscard]] static IdAssignment identity(Vertex n);
+
+  /// Distinct random IDs drawn from [0, n^2) — "range polynomial in n".
+  [[nodiscard]] static IdAssignment random_quadratic(Vertex n, util::Rng& rng);
+
+  /// Random permutation of 0..n-1 (dense but shuffled; stresses ownership
+  /// and tie-breaking rules without growing ID bit-width).
+  [[nodiscard]] static IdAssignment shuffled(Vertex n, util::Rng& rng);
+
+  /// Explicit assignment; IDs must be distinct.
+  [[nodiscard]] static IdAssignment from_ids(std::vector<NodeId> ids);
+
+  [[nodiscard]] NodeId id_of(Vertex v) const noexcept { return ids_[v]; }
+  [[nodiscard]] Vertex vertex_of(NodeId id) const;
+  [[nodiscard]] bool has_id(NodeId id) const { return by_id_.contains(id); }
+  [[nodiscard]] Vertex num_vertices() const noexcept { return static_cast<Vertex>(ids_.size()); }
+  [[nodiscard]] NodeId max_id() const noexcept { return max_id_; }
+  [[nodiscard]] const std::vector<NodeId>& ids() const noexcept { return ids_; }
+
+ private:
+  std::vector<NodeId> ids_;
+  std::unordered_map<NodeId, Vertex> by_id_;
+  NodeId max_id_ = 0;
+
+  void index();
+};
+
+}  // namespace decycle::graph

@@ -1,0 +1,50 @@
+#include "graph/io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace decycle::graph {
+
+void write_edge_list(std::ostream& out, const Graph& g) {
+  out << g.num_vertices() << ' ' << g.num_edges() << '\n';
+  for (const auto& [u, v] : g.edges()) out << u << ' ' << v << '\n';
+}
+
+Graph read_edge_list(std::istream& in) {
+  std::string line;
+  auto next_data_line = [&](std::string& target) -> bool {
+    while (std::getline(in, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      target = line;
+      return true;
+    }
+    return false;
+  };
+
+  std::string header;
+  DECYCLE_CHECK_MSG(next_data_line(header), "edge list: missing header line");
+  std::istringstream hs(header);
+  std::uint64_t n = 0, m = 0;
+  DECYCLE_CHECK_MSG(static_cast<bool>(hs >> n >> m), "edge list: bad header");
+  DECYCLE_CHECK_MSG(n <= kInvalidVertex, "edge list: too many vertices");
+
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  for (std::uint64_t i = 0; i < m; ++i) {
+    std::string data;
+    DECYCLE_CHECK_MSG(next_data_line(data), "edge list: truncated file");
+    std::istringstream es(data);
+    std::uint64_t u = 0, v = 0;
+    DECYCLE_CHECK_MSG(static_cast<bool>(es >> u >> v), "edge list: bad edge line");
+    DECYCLE_CHECK_MSG(u < n && v < n, "edge list: endpoint out of range");
+    edges.emplace_back(static_cast<Vertex>(u), static_cast<Vertex>(v));
+  }
+  return Graph::from_edges(static_cast<Vertex>(n), edges);
+}
+
+}  // namespace decycle::graph

@@ -1,0 +1,21 @@
+/// \file io.hpp
+/// \brief Plain-text edge-list serialization.
+///
+/// Format: optional '#' comment lines, then a header "n m", then m lines
+/// "u v". Used by the examples to exchange instances and by tests for
+/// round-trip checks.
+#pragma once
+
+#include <iosfwd>
+
+#include "graph/graph.hpp"
+
+namespace decycle::graph {
+
+void write_edge_list(std::ostream& out, const Graph& g);
+
+/// Parses the format written by write_edge_list. Throws CheckError on
+/// malformed input (wrong counts, out-of-range endpoints, self-loops).
+[[nodiscard]] Graph read_edge_list(std::istream& in);
+
+}  // namespace decycle::graph

@@ -1,0 +1,48 @@
+#include "graph/packing.hpp"
+
+#include "util/check.hpp"
+
+namespace decycle::graph {
+
+Packing greedy_cycle_packing(const Graph& g, unsigned k) {
+  Packing out;
+  EdgeMask removed(g.num_edges(), 0);
+  std::size_t alive = g.num_edges();
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (removed[e]) continue;
+    const auto [u, v] = g.edge(e);
+    auto cycle = find_cycle_through_edge(g, k, u, v, &removed);
+    if (!cycle) continue;
+    DECYCLE_CHECK_MSG(validate_cycle(g, *cycle), "packing produced an invalid cycle");
+    for (std::size_t i = 0; i < cycle->size(); ++i) {
+      const Vertex a = (*cycle)[i];
+      const Vertex b = (*cycle)[(i + 1) % cycle->size()];
+      const EdgeId id = g.edge_id(a, b);
+      DECYCLE_CHECK(id != kInvalidEdge);
+      DECYCLE_CHECK_MSG(!removed[id], "cycle reused a removed edge");
+      removed[id] = 1;
+      --alive;
+    }
+    out.cycles.push_back(std::move(*cycle));
+  }
+  out.edges_remaining = alive;
+  return out;
+}
+
+std::size_t greedy_deletion_upper_bound(const Graph& g, unsigned k) {
+  // Remove one edge of some k-cycle until none remains. Each iteration
+  // kills at least the found cycle, so this terminates in <= m steps.
+  EdgeMask removed(g.num_edges(), 0);
+  std::size_t deletions = 0;
+  while (true) {
+    auto cycle = find_cycle(g, k, &removed);
+    if (!cycle) break;
+    const EdgeId id = g.edge_id((*cycle)[0], (*cycle)[1]);
+    DECYCLE_CHECK(id != kInvalidEdge);
+    removed[id] = 1;
+    ++deletions;
+  }
+  return deletions;
+}
+
+}  // namespace decycle::graph

@@ -1,0 +1,44 @@
+/// \file packing.hpp
+/// \brief Greedy edge-disjoint Ck packing — the Lemma 4 certifier.
+///
+/// Lemma 4 (quoted from [20] in the paper): an m-edge graph that is ε-far
+/// from H-free contains at least εm/|E(H)| edge-disjoint copies of H. The
+/// greedy packing here produces an explicit family of edge-disjoint k-cycles;
+/// its size is both (a) a lower bound certificate on the deletion distance to
+/// Ck-freeness (each packed cycle needs one deleted edge), and (b) the
+/// measured quantity in experiment T7.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/subgraph.hpp"
+
+namespace decycle::graph {
+
+struct Packing {
+  std::vector<std::vector<Vertex>> cycles;  ///< each of length k
+  std::size_t edges_remaining = 0;          ///< alive edges after packing
+
+  [[nodiscard]] std::size_t size() const noexcept { return cycles.size(); }
+
+  /// The graph is ε'-far from Ck-free for every ε' < epsilon_lower_bound(m):
+  /// destroying the packing requires >= |cycles| deletions.
+  [[nodiscard]] double epsilon_lower_bound(std::size_t m) const noexcept {
+    return m == 0 ? 0.0 : static_cast<double>(cycles.size()) / static_cast<double>(m);
+  }
+};
+
+/// Greedily packs edge-disjoint k-cycles: scans edges in index order, finds a
+/// cycle through each still-alive edge in the residual graph, removes its
+/// edges. One pass yields a maximal packing (removals only destroy cycles).
+/// Every returned cycle is validated against the input graph.
+[[nodiscard]] Packing greedy_cycle_packing(const Graph& g, unsigned k);
+
+/// Deletion distance upper bound: a hitting set for all k-cycles built by
+/// removing one edge per packed cycle plus whatever else is needed (greedy).
+/// Used in tests to sandwich the true distance on small instances.
+[[nodiscard]] std::size_t greedy_deletion_upper_bound(const Graph& g, unsigned k);
+
+}  // namespace decycle::graph

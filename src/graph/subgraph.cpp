@@ -1,0 +1,283 @@
+#include "graph/subgraph.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace decycle::graph {
+
+namespace {
+
+constexpr std::uint32_t kUnreached = std::numeric_limits<std::uint32_t>::max();
+
+bool edge_alive(const Graph& g, const EdgeMask* removed, Vertex a, Vertex b) {
+  if (removed == nullptr) return true;
+  const EdgeId id = g.edge_id(a, b);
+  return id == kInvalidEdge || !(*removed)[id];
+}
+
+/// BFS distances from \p src, capped at \p cap (vertices further away stay
+/// kUnreached). Respects the removed-edge mask.
+std::vector<std::uint32_t> bfs_capped(const Graph& g, Vertex src, std::uint32_t cap,
+                                      const EdgeMask* removed) {
+  std::vector<std::uint32_t> dist(g.num_vertices(), kUnreached);
+  std::deque<Vertex> queue;
+  dist[src] = 0;
+  queue.push_back(src);
+  while (!queue.empty()) {
+    const Vertex x = queue.front();
+    queue.pop_front();
+    if (dist[x] >= cap) continue;
+    for (const Vertex y : g.neighbors(x)) {
+      if (dist[y] != kUnreached) continue;
+      if (!edge_alive(g, removed, x, y)) continue;
+      dist[y] = dist[x] + 1;
+      queue.push_back(y);
+    }
+  }
+  return dist;
+}
+
+struct PathSearch {
+  const Graph& g;
+  unsigned k;
+  Vertex target;
+  const EdgeMask* removed;
+  const std::vector<std::uint32_t>& dist_to_target;
+  std::vector<Vertex> path;
+  std::vector<char> on_path;
+
+  /// Extends path (last vertex = path.back()) to reach target with exactly
+  /// k vertices total. Returns true when found; path then holds the cycle.
+  bool extend() {
+    const Vertex x = path.back();
+    const auto depth = static_cast<unsigned>(path.size());
+    const unsigned remaining_edges = k - depth;  // edges still to traverse
+    for (const Vertex y : g.neighbors(x)) {
+      if (!edge_alive(g, removed, x, y)) continue;
+      if (y == target) {
+        if (remaining_edges == 1) {
+          path.push_back(y);
+          return true;
+        }
+        continue;  // reaching the target early would close a shorter cycle
+      }
+      if (on_path[y]) continue;
+      if (dist_to_target[y] == kUnreached || dist_to_target[y] > remaining_edges - 1) continue;
+      path.push_back(y);
+      on_path[y] = 1;
+      if (extend()) return true;
+      on_path[y] = 0;
+      path.pop_back();
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+std::optional<std::vector<Vertex>> find_cycle_through_edge(const Graph& g, unsigned k, Vertex u,
+                                                           Vertex v, const EdgeMask* removed) {
+  DECYCLE_CHECK_MSG(k >= 3, "cycles have length at least 3");
+  if (u >= g.num_vertices() || v >= g.num_vertices()) return std::nullopt;
+  if (!g.has_edge(u, v) || !edge_alive(g, removed, u, v)) return std::nullopt;
+
+  // Need a simple path u -> v of exactly k-1 edges that avoids re-visiting u.
+  const auto dist_v = bfs_capped(g, v, k - 1, removed);
+  if (dist_v[u] == kUnreached) return std::nullopt;
+
+  PathSearch search{g, k, v, removed, dist_v, {}, std::vector<char>(g.num_vertices(), 0)};
+  search.path.reserve(k);
+  search.path.push_back(u);
+  search.on_path[u] = 1;
+  // Mark v as allowed only as the terminal vertex: handled in extend().
+  if (!search.extend()) return std::nullopt;
+  return search.path;
+}
+
+bool has_cycle_through_edge(const Graph& g, unsigned k, Vertex u, Vertex v,
+                            const EdgeMask* removed) {
+  return find_cycle_through_edge(g, k, u, v, removed).has_value();
+}
+
+std::optional<std::vector<Vertex>> find_cycle(const Graph& g, unsigned k,
+                                              const EdgeMask* removed) {
+  for (const auto& [u, v] : g.edges()) {
+    if (!edge_alive(g, removed, u, v)) continue;
+    if (auto cycle = find_cycle_through_edge(g, k, u, v, removed)) return cycle;
+  }
+  return std::nullopt;
+}
+
+bool has_cycle(const Graph& g, unsigned k) { return find_cycle(g, k).has_value(); }
+
+namespace {
+
+/// Counts k-cycles whose minimum vertex is path[0], canonicalized so the
+/// second vertex is smaller than the last (each cycle counted exactly once).
+void count_from(const Graph& g, unsigned k, std::vector<Vertex>& path, std::vector<char>& on_path,
+                std::uint64_t& total) {
+  const Vertex start = path[0];
+  const Vertex x = path.back();
+  if (path.size() == k) {
+    if (g.has_edge(x, start) && path[1] < path.back()) ++total;
+    return;
+  }
+  for (const Vertex y : g.neighbors(x)) {
+    if (y <= start || on_path[y]) continue;
+    path.push_back(y);
+    on_path[y] = 1;
+    count_from(g, k, path, on_path, total);
+    on_path[y] = 0;
+    path.pop_back();
+  }
+}
+
+}  // namespace
+
+std::uint64_t count_cycles(const Graph& g, unsigned k) {
+  DECYCLE_CHECK_MSG(k >= 3, "cycles have length at least 3");
+  std::uint64_t total = 0;
+  std::vector<char> on_path(g.num_vertices(), 0);
+  std::vector<Vertex> path;
+  path.reserve(k);
+  for (Vertex s = 0; s < g.num_vertices(); ++s) {
+    path.clear();
+    path.push_back(s);
+    on_path[s] = 1;
+    count_from(g, k, path, on_path, total);
+    on_path[s] = 0;
+  }
+  return total;
+}
+
+std::optional<unsigned> girth(const Graph& g) {
+  unsigned best = std::numeric_limits<unsigned>::max();
+  std::vector<std::uint32_t> dist(g.num_vertices());
+  std::vector<Vertex> parent(g.num_vertices());
+  std::deque<Vertex> queue;
+  for (Vertex root = 0; root < g.num_vertices(); ++root) {
+    std::fill(dist.begin(), dist.end(), kUnreached);
+    queue.clear();
+    dist[root] = 0;
+    parent[root] = kInvalidVertex;
+    queue.push_back(root);
+    while (!queue.empty()) {
+      const Vertex x = queue.front();
+      queue.pop_front();
+      if (2 * dist[x] + 1 >= best) break;  // deeper levels cannot improve
+      for (const Vertex y : g.neighbors(x)) {
+        if (dist[y] == kUnreached) {
+          dist[y] = dist[x] + 1;
+          parent[y] = x;
+          queue.push_back(y);
+        } else if (parent[x] != y) {
+          // Non-tree edge: closed walk of length dist[x] + dist[y] + 1 through
+          // the root; the minimum over all roots is exactly the girth.
+          best = std::min(best, dist[x] + dist[y] + 1);
+        }
+      }
+    }
+  }
+  if (best == std::numeric_limits<unsigned>::max()) return std::nullopt;
+  return best;
+}
+
+bool validate_induced_cycle(const Graph& g, std::span<const Vertex> cycle) {
+  if (!validate_cycle(g, cycle)) return false;
+  const std::size_t k = cycle.size();
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = i + 2; j < k; ++j) {
+      if (i == 0 && j == k - 1) continue;  // the closing edge, not a chord
+      if (g.has_edge(cycle[i], cycle[j])) return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+struct InducedSearch {
+  const Graph& g;
+  unsigned k;
+  Vertex target;  // = v; path starts at u
+  std::vector<Vertex> path;
+  std::vector<char> on_path;
+
+  /// Chordlessness while extending: the new vertex may touch only its
+  /// predecessor among path vertices — except the very first vertex u, which
+  /// the final vertex must reach via the closing edge (handled at the end).
+  [[nodiscard]] bool extend() {
+    const Vertex x = path.back();
+    const auto depth = static_cast<unsigned>(path.size());
+    for (const Vertex y : g.neighbors(x)) {
+      if (y == target) {
+        if (depth != k - 1) continue;  // reaching v early would chord the cycle
+        // v must be non-adjacent to interior vertices (indices 1..k-3).
+        bool chordless = true;
+        for (std::size_t i = 1; i + 1 < path.size() && chordless; ++i) {
+          if (g.has_edge(y, path[i])) chordless = false;
+        }
+        if (!chordless) continue;
+        path.push_back(y);
+        return true;
+      }
+      if (on_path[y] || depth >= k - 1) continue;
+      // y may be adjacent only to x among path vertices (u included: an edge
+      // y-u would chord the final cycle since y is interior).
+      bool chordless = true;
+      for (std::size_t i = 0; i + 1 < path.size() && chordless; ++i) {
+        if (g.has_edge(y, path[i])) chordless = false;
+      }
+      if (!chordless) continue;
+      path.push_back(y);
+      on_path[y] = 1;
+      if (extend()) return true;
+      on_path[y] = 0;
+      path.pop_back();
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+std::optional<std::vector<Vertex>> find_induced_cycle_through_edge(const Graph& g, unsigned k,
+                                                                   Vertex u, Vertex v) {
+  DECYCLE_CHECK_MSG(k >= 3, "cycles have length at least 3");
+  if (u >= g.num_vertices() || v >= g.num_vertices()) return std::nullopt;
+  if (!g.has_edge(u, v)) return std::nullopt;
+  InducedSearch search{g, k, v, {}, std::vector<char>(g.num_vertices(), 0)};
+  search.path.reserve(k);
+  search.path.push_back(u);
+  search.on_path[u] = 1;
+  if (!search.extend()) return std::nullopt;
+  DECYCLE_CHECK(validate_induced_cycle(g, search.path));
+  return search.path;
+}
+
+std::optional<std::vector<Vertex>> find_induced_cycle(const Graph& g, unsigned k) {
+  for (const auto& [u, v] : g.edges()) {
+    if (auto cycle = find_induced_cycle_through_edge(g, k, u, v)) return cycle;
+  }
+  return std::nullopt;
+}
+
+bool has_induced_cycle(const Graph& g, unsigned k) { return find_induced_cycle(g, k).has_value(); }
+
+bool validate_cycle(const Graph& g, std::span<const Vertex> cycle) {
+  if (cycle.size() < 3) return false;
+  std::vector<Vertex> sorted(cycle.begin(), cycle.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) return false;
+  for (std::size_t i = 0; i < cycle.size(); ++i) {
+    const Vertex a = cycle[i];
+    const Vertex b = cycle[(i + 1) % cycle.size()];
+    if (!g.has_edge(a, b)) return false;
+  }
+  return true;
+}
+
+}  // namespace decycle::graph

@@ -1,0 +1,69 @@
+/// \file subgraph.hpp
+/// \brief Exact (centralized) k-cycle search — the ground truth oracle.
+///
+/// Everything the distributed tester claims is checked against these
+/// routines: the single-edge checker must agree with find_cycle_through_edge
+/// on every edge (Lemma 2 is deterministic), every distributed rejection must
+/// come with a witness that validate_cycle accepts, and generated Ck-free
+/// families are audited with has_cycle / girth. The search is classic
+/// backtracking DFS with admissible BFS-distance pruning — exponential in the
+/// worst case, but exact, and fast on the instance sizes where it is used.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace decycle::graph {
+
+/// Edges marked true are treated as absent (residual-graph searches for the
+/// packing routine). Indexed by EdgeId; empty mask = full graph.
+using EdgeMask = std::vector<char>;
+
+/// Finds a k-cycle through edge {u,v}: k distinct vertices c0..c_{k-1} with
+/// c0 = u, c_{k-1} = v, consecutive edges present, and the closing edge
+/// {u,v} present. Returns std::nullopt when none exists. Deterministic
+/// (neighbors scanned in sorted order).
+[[nodiscard]] std::optional<std::vector<Vertex>> find_cycle_through_edge(
+    const Graph& g, unsigned k, Vertex u, Vertex v, const EdgeMask* removed = nullptr);
+
+[[nodiscard]] bool has_cycle_through_edge(const Graph& g, unsigned k, Vertex u, Vertex v,
+                                          const EdgeMask* removed = nullptr);
+
+/// Finds any k-cycle in the graph (first by edge order), or nullopt.
+[[nodiscard]] std::optional<std::vector<Vertex>> find_cycle(const Graph& g, unsigned k,
+                                                            const EdgeMask* removed = nullptr);
+
+[[nodiscard]] bool has_cycle(const Graph& g, unsigned k);
+
+/// Number of distinct Ck subgraphs (each cycle counted once, not per
+/// orientation/rotation). Intended for small graphs (tests and examples).
+[[nodiscard]] std::uint64_t count_cycles(const Graph& g, unsigned k);
+
+/// Length of the shortest cycle, or nullopt for forests.
+[[nodiscard]] std::optional<unsigned> girth(const Graph& g);
+
+/// True iff \p cycle lists k >= 3 distinct vertices forming a cycle in g
+/// (consecutive edges plus the closing edge all present).
+[[nodiscard]] bool validate_cycle(const Graph& g, std::span<const Vertex> cycle);
+
+/// True iff \p cycle is a cycle of g with NO chords: non-consecutive cycle
+/// vertices are non-adjacent (the induced-subgraph condition of paper §4).
+[[nodiscard]] bool validate_induced_cycle(const Graph& g, std::span<const Vertex> cycle);
+
+/// Finds an INDUCED k-cycle through edge {u,v} (a chordless Ck — the
+/// paper's conclusion discusses why Algorithm 1 cannot test for these).
+/// Same contract as find_cycle_through_edge otherwise.
+[[nodiscard]] std::optional<std::vector<Vertex>> find_induced_cycle_through_edge(const Graph& g,
+                                                                                 unsigned k,
+                                                                                 Vertex u,
+                                                                                 Vertex v);
+
+[[nodiscard]] std::optional<std::vector<Vertex>> find_induced_cycle(const Graph& g, unsigned k);
+
+[[nodiscard]] bool has_induced_cycle(const Graph& g, unsigned k);
+
+}  // namespace decycle::graph

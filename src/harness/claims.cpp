@@ -1,0 +1,28 @@
+#include "harness/claims.hpp"
+
+#include <cstdio>
+
+namespace decycle::harness {
+
+ClaimSet::ClaimSet(std::string experiment_name) : name_(std::move(experiment_name)) {}
+
+bool ClaimSet::check(const std::string& claim, bool holds) {
+  ++total_;
+  if (!holds) {
+    ++failures_;
+    failed_claims_.push_back(claim);
+  }
+  return holds;
+}
+
+int ClaimSet::summarize() const {
+  std::printf("EXPERIMENT %s: %zu/%zu claims hold%s\n", name_.c_str(), total_ - failures_, total_,
+              failures_ == 0 ? "" : " — FAILURES:");
+  for (const auto& claim : failed_claims_) {
+    std::printf("  FAILED: %s\n", claim.c_str());
+  }
+  std::fflush(stdout);
+  return failures_ == 0 ? 0 : 1;
+}
+
+}  // namespace decycle::harness

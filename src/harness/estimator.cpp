@@ -1,0 +1,28 @@
+#include "harness/estimator.hpp"
+
+#include <atomic>
+
+#include "util/rng.hpp"
+
+namespace decycle::harness {
+
+RateEstimate estimate_rate(const std::function<bool(std::size_t, std::uint64_t)>& trial,
+                           std::size_t trials, std::uint64_t base_seed, util::ThreadPool* pool) {
+  std::atomic<std::uint64_t> successes{0};
+  const auto run_one = [&](std::size_t i) {
+    const std::uint64_t seed = util::splitmix64(base_seed ^ util::splitmix64(i + 1));
+    if (trial(i, seed)) successes.fetch_add(1, std::memory_order_relaxed);
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(trials, run_one);
+  } else {
+    for (std::size_t i = 0; i < trials; ++i) run_one(i);
+  }
+  RateEstimate out;
+  out.trials = trials;
+  out.successes = successes.load();
+  out.interval = util::wilson_interval(out.successes, out.trials);
+  return out;
+}
+
+}  // namespace decycle::harness

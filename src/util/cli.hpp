@@ -1,0 +1,48 @@
+/// \file cli.hpp
+/// \brief Tiny --key=value command-line parser for examples and benches.
+///
+/// Every experiment binary accepts overrides like `--n=100000 --k=7
+/// --seed=42`; unknown keys are an error so typos do not silently run the
+/// default workload. Not a general-purpose CLI library — exactly what the
+/// executables in this repository need.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace decycle::util {
+
+class Args {
+ public:
+  /// Parses argv. Accepts "--key=value" and "--flag" (value "1").
+  /// Throws CheckError on malformed arguments.
+  Args(int argc, const char* const* argv);
+
+  /// Typed access with defaults. Throws CheckError if the value does not parse.
+  [[nodiscard]] std::uint64_t get_u64(std::string_view key, std::uint64_t fallback) const;
+  [[nodiscard]] std::int64_t get_i64(std::string_view key, std::int64_t fallback) const;
+  [[nodiscard]] double get_double(std::string_view key, double fallback) const;
+  [[nodiscard]] bool get_bool(std::string_view key, bool fallback) const;
+  [[nodiscard]] std::string get_string(std::string_view key, std::string_view fallback) const;
+
+  [[nodiscard]] bool has(std::string_view key) const;
+
+  /// Keys that were provided but never read — call at the end of main to
+  /// reject typos. Returns empty vector when everything was consumed.
+  [[nodiscard]] std::vector<std::string> unused() const;
+
+  /// Convenience: throws if unused() is non-empty.
+  void reject_unknown() const;
+
+ private:
+  [[nodiscard]] std::optional<std::string> lookup(std::string_view key) const;
+
+  std::map<std::string, std::string, std::less<>> values_;
+  mutable std::map<std::string, bool, std::less<>> used_;
+};
+
+}  // namespace decycle::util

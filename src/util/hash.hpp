@@ -1,0 +1,32 @@
+/// \file hash.hpp
+/// \brief Hash helpers for composite keys (ID pairs, ID sequences).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "util/rng.hpp"
+
+namespace decycle::util {
+
+/// boost-style combine on 64 bits.
+[[nodiscard]] constexpr std::uint64_t hash_combine(std::uint64_t seed, std::uint64_t value) noexcept {
+  return seed ^ (splitmix64(value) + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+/// Order-sensitive hash of a span of 64-bit values.
+[[nodiscard]] constexpr std::uint64_t hash_span(std::span<const std::uint64_t> values) noexcept {
+  std::uint64_t h = 0x243f6a8885a308d3ULL;
+  for (const std::uint64_t v : values) h = hash_combine(h, v);
+  return h;
+}
+
+/// Hash functor for std::pair-like 64-bit keys in unordered containers.
+struct PairHash {
+  [[nodiscard]] std::size_t operator()(const std::pair<std::uint64_t, std::uint64_t>& p) const noexcept {
+    return static_cast<std::size_t>(hash_combine(splitmix64(p.first), p.second));
+  }
+};
+
+}  // namespace decycle::util

@@ -1,0 +1,49 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace decycle::util {
+
+namespace {
+
+LogLevel initial_level() noexcept {
+  const char* env = std::getenv("DECYCLE_LOG");
+  if (env == nullptr) return LogLevel::kInfo;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  return LogLevel::kInfo;
+}
+
+std::atomic<int>& level_storage() noexcept {
+  static std::atomic<int> level{static_cast<int>(initial_level())};
+  return level;
+}
+
+const char* level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kError: return "error";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kDebug: return "debug";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() noexcept { return static_cast<LogLevel>(level_storage().load()); }
+
+void set_log_level(LogLevel level) noexcept { level_storage().store(static_cast<int>(level)); }
+
+void log_line(LogLevel level, const std::string& message) {
+  static std::mutex mutex;
+  const std::lock_guard lock(mutex);
+  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+}
+
+}  // namespace decycle::util

@@ -1,0 +1,54 @@
+/// \file logging.hpp
+/// \brief Minimal leveled logging to stderr.
+///
+/// The library itself never logs on hot paths; logging is for the harness,
+/// examples, and long-running benches (progress lines). Level is process-wide
+/// and settable from the DECYCLE_LOG environment variable (error|warn|info|debug).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace decycle::util {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// Current process-wide level (default: info, or $DECYCLE_LOG).
+[[nodiscard]] LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+/// Emits one line "[level] message" to stderr (thread-safe).
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) noexcept : level_(level) {}
+  ~LogStream() { log_line(level_, stream_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace decycle::util
+
+#define DECYCLE_LOG(level)                                            \
+  if (static_cast<int>(level) > static_cast<int>(::decycle::util::log_level())) \
+    ;                                                                 \
+  else                                                                \
+    ::decycle::util::detail::LogStream(level)
+
+#define DECYCLE_LOG_INFO DECYCLE_LOG(::decycle::util::LogLevel::kInfo)
+#define DECYCLE_LOG_WARN DECYCLE_LOG(::decycle::util::LogLevel::kWarn)
+#define DECYCLE_LOG_ERROR DECYCLE_LOG(::decycle::util::LogLevel::kError)
+#define DECYCLE_LOG_DEBUG DECYCLE_LOG(::decycle::util::LogLevel::kDebug)

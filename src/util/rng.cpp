@@ -1,0 +1,58 @@
+#include "util/rng.hpp"
+
+#include <numeric>
+#include <unordered_set>
+
+namespace decycle::util {
+
+std::uint64_t Rng::next_below(std::uint64_t bound) noexcept {
+  // Lemire's multiply-shift with rejection of the biased low band.
+  // https://arxiv.org/abs/1805.10941
+  if (bound == 0) return 0;  // degenerate; callers validate, avoid UB anyway
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (low < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::vector<std::uint64_t> Rng::sample_distinct(std::uint64_t universe, std::size_t count) {
+  DECYCLE_CHECK_MSG(count <= universe, "cannot sample more distinct values than the universe");
+  std::vector<std::uint64_t> out;
+  out.reserve(count);
+  if (universe <= 4 * static_cast<std::uint64_t>(count) && universe <= (1ULL << 24)) {
+    // Dense case: shuffle a prefix of the identity permutation.
+    std::vector<std::uint64_t> all(static_cast<std::size_t>(universe));
+    std::iota(all.begin(), all.end(), 0ULL);
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t j = i + static_cast<std::size_t>(next_below(universe - i));
+      std::swap(all[i], all[j]);
+      out.push_back(all[i]);
+    }
+    return out;
+  }
+  // Sparse case: rejection sampling with a hash set.
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(count * 2);
+  while (out.size() < count) {
+    const std::uint64_t v = next_below(universe);
+    if (seen.insert(v).second) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> Rng::permutation(std::uint32_t n) {
+  std::vector<std::uint32_t> p(n);
+  std::iota(p.begin(), p.end(), 0U);
+  shuffle(std::span<std::uint32_t>(p));
+  return p;
+}
+
+}  // namespace decycle::util

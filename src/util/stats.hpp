@@ -1,0 +1,76 @@
+/// \file stats.hpp
+/// \brief Streaming statistics used by the experiment harness.
+///
+/// OnlineStats implements Welford's numerically stable running mean/variance.
+/// Percentiles keeps raw samples and answers order statistics; suitable for
+/// the sample counts the experiments produce (<= a few million). Wilson score
+/// intervals back the acceptance-probability tables (T1/T2) so the benches can
+/// assert "detection >= 2/3" with an explicit confidence bound rather than a
+/// point estimate.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace decycle::util {
+
+/// Welford running mean / variance / min / max.
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return count_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept;  ///< sample variance (n-1)
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(count_); }
+
+  /// Merges another accumulator (parallel reduction), Chan et al. update.
+  void merge(const OnlineStats& other) noexcept;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Order statistics over retained samples.
+class Percentiles {
+ public:
+  void add(double x) { samples_.push_back(x); }
+  void reserve(std::size_t n) { samples_.reserve(n); }
+  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+
+  /// Returns the q-quantile (q in [0,1]) by linear interpolation.
+  /// Sorts lazily; calling add() afterwards is allowed and re-sorts.
+  [[nodiscard]] double quantile(double q);
+  [[nodiscard]] double median() { return quantile(0.5); }
+
+ private:
+  std::vector<double> samples_;
+  bool sorted_ = false;
+};
+
+/// Binomial proportion confidence interval.
+struct ProportionInterval {
+  double estimate;  ///< successes / trials
+  double low;       ///< lower bound
+  double high;      ///< upper bound
+};
+
+/// Wilson score interval for \p successes out of \p trials at confidence
+/// z (default z=1.96 ~ 95%). Well-behaved at the 0/1 boundaries, unlike the
+/// normal approximation — exactly the regime of 1-sided-error experiments
+/// where the measured acceptance rate is 1.0.
+[[nodiscard]] ProportionInterval wilson_interval(std::uint64_t successes, std::uint64_t trials,
+                                                 double z = 1.96) noexcept;
+
+/// n choose r as double (overflow-free for the bound tables).
+[[nodiscard]] double binomial_coefficient(unsigned n, unsigned r) noexcept;
+
+}  // namespace decycle::util

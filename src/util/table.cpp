@@ -1,0 +1,76 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "util/check.hpp"
+
+namespace decycle::util {
+
+std::string format_double(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  DECYCLE_CHECK_MSG(!headers_.empty(), "table needs at least one column");
+}
+
+Table& Table::row() {
+  if (!rows_.empty()) {
+    DECYCLE_CHECK_MSG(rows_.back().size() == headers_.size(),
+                      "previous table row has wrong number of cells");
+  }
+  rows_.emplace_back();
+  rows_.back().reserve(headers_.size());
+  return *this;
+}
+
+Table& Table::cell(std::string text) {
+  DECYCLE_CHECK_MSG(!rows_.empty(), "call row() before cell()");
+  DECYCLE_CHECK_MSG(rows_.back().size() < headers_.size(), "too many cells in table row");
+  rows_.back().push_back(std::move(text));
+  return *this;
+}
+
+Table& Table::cell(const char* text) { return cell(std::string(text)); }
+Table& Table::cell(std::uint64_t value) { return cell(std::to_string(value)); }
+Table& Table::cell(std::int64_t value) { return cell(std::to_string(value)); }
+Table& Table::cell(int value) { return cell(std::to_string(value)); }
+Table& Table::cell(unsigned value) { return cell(std::to_string(value)); }
+Table& Table::cell(double value, int precision) { return cell(format_double(value, precision)); }
+Table& Table::cell_ok(bool ok) { return cell(ok ? std::string("PASS") : std::string("FAIL")); }
+
+void Table::print(std::ostream& out, const std::string& title) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) widths[c] = std::max(widths[c], r[c].size());
+  }
+
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    out << "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& text = c < cells.size() ? cells[c] : std::string();
+      out << ' ' << text;
+      for (std::size_t pad = text.size(); pad < widths[c]; ++pad) out << ' ';
+      out << " |";
+    }
+    out << '\n';
+  };
+
+  if (!title.empty()) out << "== " << title << " ==\n";
+  print_row(headers_);
+  out << "|";
+  for (const std::size_t w : widths) {
+    for (std::size_t i = 0; i < w + 2; ++i) out << '-';
+    out << '|';
+  }
+  out << '\n';
+  for (const auto& r : rows_) print_row(r);
+  out.flush();
+}
+
+}  // namespace decycle::util

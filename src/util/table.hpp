@@ -1,0 +1,48 @@
+/// \file table.hpp
+/// \brief Fixed-width ASCII table printer used by every experiment bench.
+///
+/// The experiment binaries print one table per paper claim; this class keeps
+/// the formatting consistent (aligned columns, a header rule, optional
+/// per-cell PASS/FAIL markers) so EXPERIMENTS.md can quote bench output
+/// verbatim.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace decycle::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row; subsequent cell() calls fill it left to right.
+  Table& row();
+
+  Table& cell(std::string text);
+  Table& cell(const char* text);
+  Table& cell(std::uint64_t value);
+  Table& cell(std::int64_t value);
+  Table& cell(int value);
+  Table& cell(unsigned value);
+  /// Formats with \p precision digits after the decimal point.
+  Table& cell(double value, int precision = 4);
+  /// PASS / FAIL marker cell.
+  Table& cell_ok(bool ok);
+
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+
+  /// Renders the table (with title if non-empty) to \p out.
+  void print(std::ostream& out, const std::string& title = "") const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper shared with benches).
+[[nodiscard]] std::string format_double(double value, int precision);
+
+}  // namespace decycle::util

@@ -1,0 +1,96 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <exception>
+
+#include "util/check.hpp"
+
+namespace decycle::util {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (stopping_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for_chunked(std::size_t count,
+                                      const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (count == 0) return;
+  const std::size_t max_tasks = std::max<std::size_t>(1, workers_.size() * 4);
+  const std::size_t chunk = std::max<std::size_t>(1, (count + max_tasks - 1) / max_tasks);
+  const std::size_t num_tasks = (count + chunk - 1) / chunk;
+
+  // Completion state lives on this stack frame; the counter must only be
+  // decremented under done_mutex, otherwise the waiter can observe zero,
+  // return, and destroy the mutex while the last task still holds it.
+  std::size_t remaining = num_tasks;
+  std::exception_ptr first_error;
+  std::condition_variable done_cv;
+  std::mutex done_mutex;
+
+  for (std::size_t t = 0; t < num_tasks; ++t) {
+    const std::size_t begin = t * chunk;
+    const std::size_t end = std::min(count, begin + chunk);
+    auto task = [&, begin, end] {
+      std::exception_ptr error;
+      try {
+        fn(begin, end);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      const std::lock_guard dl(done_mutex);
+      if (error && !first_error) first_error = error;
+      if (--remaining == 0) done_cv.notify_all();
+    };
+    {
+      const std::lock_guard lock(mutex_);
+      tasks_.emplace_back(std::move(task));
+    }
+    cv_.notify_one();
+  }
+
+  std::unique_lock done_lock(done_mutex);
+  done_cv.wait(done_lock, [&] { return remaining == 0; });
+  done_lock.unlock();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void ThreadPool::parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn) {
+  parallel_for_chunked(count, [&fn](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace decycle::util

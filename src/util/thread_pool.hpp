@@ -1,0 +1,59 @@
+/// \file thread_pool.hpp
+/// \brief Fixed-size worker pool with a blocking parallel_for.
+///
+/// Two uses in the repository:
+///   * the experiment harness fans independent tester trials out across
+///     cores (each trial owns its RNG stream, so results are identical for
+///     any thread count);
+///   * the CONGEST simulator optionally steps active nodes in parallel
+///     within a round (per-thread outboxes merged deterministically).
+///
+/// The pool is deliberately simple — a mutex-protected deque is plenty for
+/// coarse-grained tasks (every task here simulates whole rounds or whole
+/// trials); no lock-free machinery to audit.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace decycle::util {
+
+class ThreadPool {
+ public:
+  /// Creates \p num_threads workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Runs fn(i) for i in [0, count), blocking until all iterations finish.
+  /// Iterations are chunked into ~4 tasks per worker to amortize dispatch.
+  /// Exceptions thrown by fn propagate to the caller (first one wins).
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+  /// Like parallel_for but hands each task a contiguous [begin, end) range.
+  void parallel_for_chunked(std::size_t count,
+                            const std::function<void(std::size_t, std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Process-wide pool for the harness (constructed on first use).
+[[nodiscard]] ThreadPool& global_pool();
+
+}  // namespace decycle::util

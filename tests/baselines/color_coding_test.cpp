@@ -1,0 +1,90 @@
+#include "baselines/color_coding.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/far_generators.hpp"
+#include "graph/generators.hpp"
+#include "graph/subgraph.hpp"
+#include "util/rng.hpp"
+
+namespace decycle::baselines {
+namespace {
+
+using graph::Graph;
+
+TEST(ColorCoding, FindsPureCycles) {
+  for (unsigned k = 3; k <= 9; ++k) {
+    const Graph g = graph::cycle(k);
+    ColorCodingOptions opt;
+    opt.seed = k;
+    // The default iteration count targets δ = 1/3 (the property-testing
+    // guarantee); for a deterministic test drive the failure odds to 1e-6.
+    opt.iterations = color_coding_iterations(k, 1e-6);
+    const auto result = find_cycle_color_coding(g, k, opt);
+    EXPECT_TRUE(result.found) << "k=" << k;
+    EXPECT_EQ(result.cycle.size(), k);
+    EXPECT_TRUE(graph::validate_cycle(g, result.cycle));
+  }
+}
+
+TEST(ColorCoding, NeverFindsInForests) {
+  util::Rng rng(2);
+  const Graph g = graph::random_tree(60, rng);
+  for (const unsigned k : {3u, 5u, 7u}) {
+    ColorCodingOptions opt;
+    opt.iterations = 50;
+    EXPECT_FALSE(find_cycle_color_coding(g, k, opt).found);
+  }
+}
+
+TEST(ColorCoding, ExactLengthOnly) {
+  const Graph g = graph::cycle(8);
+  ColorCodingOptions opt;
+  opt.iterations = 200;
+  EXPECT_FALSE(find_cycle_color_coding(g, 5, opt).found);
+  EXPECT_FALSE(find_cycle_color_coding(g, 7, opt).found);
+}
+
+TEST(ColorCoding, AgreesWithExactOracleOnRandomGraphs) {
+  util::Rng rng(4);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Graph g = graph::erdos_renyi_gnm(16, 28, rng);
+    for (const unsigned k : {4u, 5u, 6u}) {
+      const bool exact = graph::has_cycle(g, k);
+      ColorCodingOptions opt;
+      opt.iterations = exact ? 400 : 30;  // enough to make misses unlikely
+      opt.seed = 1000 + static_cast<std::uint64_t>(trial);
+      const auto result = find_cycle_color_coding(g, k, opt);
+      if (result.found) {
+        EXPECT_TRUE(exact);  // one-sided: found implies real
+        EXPECT_TRUE(graph::validate_cycle(g, result.cycle));
+      } else {
+        EXPECT_FALSE(exact) << "missed a C" << k << " in " << opt.iterations << " iterations";
+      }
+    }
+  }
+}
+
+TEST(ColorCoding, IterationFormula) {
+  // k=3: success prob 3!/27 = 2/9; ln3 / (2/9) ≈ 4.94 → 5.
+  EXPECT_EQ(color_coding_iterations(3, 1.0 / 3.0), 5u);
+  EXPECT_GT(color_coding_iterations(7, 1.0 / 3.0), color_coding_iterations(5, 1.0 / 3.0));
+}
+
+TEST(ColorCoding, IterationsUsedReported) {
+  const Graph g = graph::complete(8);
+  ColorCodingOptions opt;
+  opt.iterations = 100;
+  const auto result = find_cycle_color_coding(g, 4, opt);
+  EXPECT_TRUE(result.found);
+  EXPECT_GE(result.iterations_used, 1u);
+  EXPECT_LE(result.iterations_used, 100u);
+}
+
+TEST(ColorCoding, RejectsBadK) {
+  const Graph g = graph::complete(4);
+  EXPECT_THROW((void)find_cycle_color_coding(g, 2, {}), util::CheckError);
+}
+
+}  // namespace
+}  // namespace decycle::baselines

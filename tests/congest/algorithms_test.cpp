@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "congest/algorithms/bfs.hpp"
+#include "congest/algorithms/flood_max.hpp"
+#include "congest/simulator.hpp"
+#include "graph/analysis.hpp"
+#include "graph/generators.hpp"
+
+namespace decycle::congest {
+namespace {
+
+using graph::Graph;
+using graph::IdAssignment;
+using graph::Vertex;
+
+void expect_bfs_matches_centralized(const Graph& g, Vertex root) {
+  const IdAssignment ids = IdAssignment::identity(g.num_vertices());
+  Simulator sim(g, ids, [root](Vertex v) { return std::make_unique<BfsProgram>(v == root); });
+  const RunStats stats = sim.run();
+  EXPECT_TRUE(stats.halted);
+  const auto expected = graph::bfs_distances(g, root);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    const auto& prog = static_cast<const BfsProgram&>(sim.program(v));
+    if (expected[v] == graph::kUnreachable) {
+      EXPECT_FALSE(prog.distance().has_value());
+    } else {
+      ASSERT_TRUE(prog.distance().has_value()) << "v=" << v;
+      EXPECT_EQ(*prog.distance(), expected[v]) << "v=" << v;
+    }
+  }
+}
+
+TEST(DistributedBfs, MatchesCentralizedOnPath) { expect_bfs_matches_centralized(graph::path(10), 0); }
+
+TEST(DistributedBfs, MatchesCentralizedOnGrid) {
+  expect_bfs_matches_centralized(graph::grid(6, 7), 3);
+}
+
+TEST(DistributedBfs, MatchesCentralizedOnRandom) {
+  util::Rng rng(8);
+  expect_bfs_matches_centralized(graph::random_connected(60, 120, rng), 17);
+}
+
+TEST(DistributedBfs, DisconnectedStaysUnreached) {
+  const std::vector<Graph> parts{graph::path(3), graph::path(3)};
+  expect_bfs_matches_centralized(graph::disjoint_union(parts), 0);
+}
+
+TEST(DistributedBfs, ParentPointersFormTree) {
+  const Graph g = graph::grid(4, 4);
+  const IdAssignment ids = IdAssignment::identity(g.num_vertices());
+  Simulator sim(g, ids, [](Vertex v) { return std::make_unique<BfsProgram>(v == 0); });
+  (void)sim.run();
+  for (Vertex v = 1; v < g.num_vertices(); ++v) {
+    const auto& prog = static_cast<const BfsProgram&>(sim.program(v));
+    ASSERT_TRUE(prog.parent_port().has_value());
+    const Vertex parent = g.neighbors(v)[*prog.parent_port()];
+    const auto& parent_prog = static_cast<const BfsProgram&>(sim.program(parent));
+    EXPECT_EQ(*parent_prog.distance() + 1, *prog.distance());
+  }
+}
+
+void expect_leader_is_max(const Graph& g, const IdAssignment& ids) {
+  Simulator sim(g, ids, [](Vertex) { return std::make_unique<FloodMaxProgram>(); });
+  const RunStats stats = sim.run();
+  EXPECT_TRUE(stats.halted);
+  NodeId max_id = 0;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) max_id = std::max(max_id, ids.id_of(v));
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    const auto& prog = static_cast<const FloodMaxProgram&>(sim.program(v));
+    EXPECT_EQ(prog.leader(), max_id);
+  }
+}
+
+TEST(FloodMax, ElectsMaxOnCycle) {
+  expect_leader_is_max(graph::cycle(9), IdAssignment::identity(9));
+}
+
+TEST(FloodMax, ElectsMaxWithShuffledIds) {
+  util::Rng rng(4);
+  const Graph g = graph::grid(5, 5);
+  expect_leader_is_max(g, IdAssignment::shuffled(g.num_vertices(), rng));
+}
+
+TEST(FloodMax, ElectsMaxWithSparseRandomIds) {
+  util::Rng rng(5);
+  const Graph g = graph::random_connected(40, 60, rng);
+  expect_leader_is_max(g, IdAssignment::random_quadratic(g.num_vertices(), rng));
+}
+
+TEST(FloodMax, ConvergesWithinDiameterPlusOneRounds) {
+  const Graph g = graph::path(20);  // worst case: max at one end
+  std::vector<NodeId> ids_vec(20);
+  for (Vertex v = 0; v < 20; ++v) ids_vec[v] = 19 - v;  // max ID at vertex 0
+  const IdAssignment ids = IdAssignment::from_ids(ids_vec);
+  Simulator sim(g, ids, [](Vertex) { return std::make_unique<FloodMaxProgram>(); });
+  const RunStats stats = sim.run();
+  EXPECT_TRUE(stats.halted);
+  EXPECT_LE(stats.rounds_executed, 21u);
+  const auto& far_end = static_cast<const FloodMaxProgram&>(sim.program(19));
+  EXPECT_EQ(far_end.leader(), 19u);
+}
+
+}  // namespace
+}  // namespace decycle::congest

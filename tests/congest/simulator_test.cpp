@@ -1,0 +1,242 @@
+#include "congest/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+
+#include "graph/generators.hpp"
+#include "util/check.hpp"
+
+namespace decycle::congest {
+namespace {
+
+using graph::Graph;
+using graph::IdAssignment;
+using graph::Vertex;
+
+/// Echo program: round 0 sends own ID everywhere; afterwards records what it
+/// hears and stays silent.
+class EchoProgram final : public NodeProgram {
+ public:
+  void on_round(Context& ctx, std::span<const Envelope> inbox) override {
+    if (ctx.round() == 0) {
+      MessageWriter w;
+      w.put_u64(ctx.my_id());
+      ctx.send_all(w.finish());
+      return;
+    }
+    for (const Envelope& env : inbox) {
+      MessageReader r(env.payload);
+      heard_.push_back(r.get_u64());
+      ports_.push_back(env.port);
+    }
+  }
+  std::vector<NodeId> heard_;
+  std::vector<std::uint32_t> ports_;
+};
+
+TEST(Simulator, DeliversToAllNeighborsOnce) {
+  const Graph g = graph::cycle(5);
+  const IdAssignment ids = IdAssignment::identity(5);
+  Simulator sim(g, ids, [](Vertex) { return std::make_unique<EchoProgram>(); });
+  const RunStats stats = sim.run();
+  EXPECT_TRUE(stats.halted);
+  EXPECT_EQ(stats.rounds_executed, 2u);  // broadcast round + hearing round
+  EXPECT_EQ(stats.total_messages, 10u);  // one per directed edge
+  for (Vertex v = 0; v < 5; ++v) {
+    const auto& prog = static_cast<const EchoProgram&>(sim.program(v));
+    ASSERT_EQ(prog.heard_.size(), 2u);
+    // Inbox sorted by port; ports map to sorted neighbor vertices.
+    EXPECT_EQ(prog.ports_[0], 0u);
+    EXPECT_EQ(prog.ports_[1], 1u);
+    const auto nb = g.neighbors(v);
+    EXPECT_EQ(prog.heard_[0], nb[0]);
+    EXPECT_EQ(prog.heard_[1], nb[1]);
+  }
+}
+
+/// Forwards a token along a path: vertex 0 starts, each node forwards to the
+/// next higher port.
+class RelayProgram final : public NodeProgram {
+ public:
+  explicit RelayProgram(bool starter) : starter_(starter) {}
+  void on_round(Context& ctx, std::span<const Envelope> inbox) override {
+    if (ctx.round() == 0 && starter_) {
+      MessageWriter w;
+      w.put_u64(1);
+      ctx.send(static_cast<std::uint32_t>(ctx.degree() - 1), w.finish());
+      return;
+    }
+    for (const Envelope& env : inbox) {
+      MessageReader r(env.payload);
+      const std::uint64_t hops = r.get_u64();
+      received_at_ = ctx.round();
+      hops_ = hops;
+      if (env.port + 1 < ctx.degree()) {  // forward "rightwards" along the path
+        MessageWriter w;
+        w.put_u64(hops + 1);
+        ctx.send(static_cast<std::uint32_t>(ctx.degree() - 1), w.finish());
+      }
+    }
+  }
+  bool starter_;
+  std::uint64_t received_at_ = 0;
+  std::uint64_t hops_ = 0;
+};
+
+TEST(Simulator, EventDrivenRelayTiming) {
+  const Graph g = graph::path(6);
+  const IdAssignment ids = IdAssignment::identity(6);
+  Simulator sim(g, ids, [](Vertex v) { return std::make_unique<RelayProgram>(v == 0); });
+  const RunStats stats = sim.run();
+  EXPECT_TRUE(stats.halted);
+  for (Vertex v = 1; v < 6; ++v) {
+    const auto& prog = static_cast<const RelayProgram&>(sim.program(v));
+    EXPECT_EQ(prog.received_at_, v) << "token reaches vertex v at round v";
+    EXPECT_EQ(prog.hops_, v);
+  }
+  // Active sets shrink to the relay front: never more than n active after
+  // round 0.
+  EXPECT_EQ(stats.max_active_nodes, 6u);
+}
+
+class WakeupProgram final : public NodeProgram {
+ public:
+  void on_round(Context& ctx, std::span<const Envelope>) override {
+    rounds_seen_.push_back(ctx.round());
+    if (ctx.round() == 0) ctx.request_wakeup_at(5);
+  }
+  std::vector<std::uint64_t> rounds_seen_;
+};
+
+TEST(Simulator, WakeupSkipsIdleRounds) {
+  const Graph g = graph::path(2);
+  const IdAssignment ids = IdAssignment::identity(2);
+  Simulator sim(g, ids, [](Vertex) { return std::make_unique<WakeupProgram>(); });
+  const RunStats stats = sim.run();
+  EXPECT_TRUE(stats.halted);
+  EXPECT_EQ(stats.rounds_executed, 2u);  // rounds 1-4 are fast-forwarded
+  const auto& prog = static_cast<const WakeupProgram&>(sim.program(0));
+  ASSERT_EQ(prog.rounds_seen_.size(), 2u);
+  EXPECT_EQ(prog.rounds_seen_[1], 5u);
+}
+
+class DoubleSendProgram final : public NodeProgram {
+ public:
+  void on_round(Context& ctx, std::span<const Envelope>) override {
+    if (ctx.round() > 0) return;
+    MessageWriter w;
+    w.put_u64(1);
+    ctx.send(0, w.finish());
+    MessageWriter w2;
+    w2.put_u64(2);
+    ctx.send(0, w2.finish());  // CONGEST violation
+  }
+};
+
+TEST(Simulator, RejectsTwoMessagesPerLinkPerRound) {
+  const Graph g = graph::path(2);
+  const IdAssignment ids = IdAssignment::identity(2);
+  Simulator sim(g, ids, [](Vertex) { return std::make_unique<DoubleSendProgram>(); });
+  EXPECT_THROW((void)sim.run(), util::CheckError);
+}
+
+class PastWakeupProgram final : public NodeProgram {
+ public:
+  void on_round(Context& ctx, std::span<const Envelope>) override {
+    ctx.request_wakeup_at(ctx.round());  // not in the future
+  }
+};
+
+TEST(Simulator, RejectsPastWakeup) {
+  const Graph g = graph::path(2);
+  const IdAssignment ids = IdAssignment::identity(2);
+  Simulator sim(g, ids, [](Vertex) { return std::make_unique<PastWakeupProgram>(); });
+  EXPECT_THROW((void)sim.run(), util::CheckError);
+}
+
+class ChattyProgram final : public NodeProgram {
+ public:
+  void on_round(Context& ctx, std::span<const Envelope>) override {
+    MessageWriter w;
+    w.put_u64(ctx.round());
+    ctx.send_all(w.finish());
+    ctx.request_wakeup_at(ctx.round() + 1);  // run forever
+  }
+};
+
+TEST(Simulator, RoundCapStopsRunaways) {
+  const Graph g = graph::cycle(4);
+  const IdAssignment ids = IdAssignment::identity(4);
+  Simulator sim(g, ids, [](Vertex) { return std::make_unique<ChattyProgram>(); });
+  Simulator::Options opt;
+  opt.max_rounds = 10;
+  const RunStats stats = sim.run(opt);
+  EXPECT_FALSE(stats.halted);
+  EXPECT_LE(stats.rounds_executed, 12u);
+}
+
+TEST(Simulator, StatsBitsAndLinkMaxima) {
+  const Graph g = graph::star(4);  // hub 0
+  const IdAssignment ids = IdAssignment::identity(4);
+  Simulator sim(g, ids, [](Vertex) { return std::make_unique<EchoProgram>(); });
+  Simulator::Options opt;
+  opt.record_rounds = true;
+  const RunStats stats = sim.run(opt);
+  EXPECT_EQ(stats.total_messages, 6u);  // hub sends 3, leaves send 1 each
+  EXPECT_GT(stats.total_bits, 0u);
+  ASSERT_FALSE(stats.per_round.empty());
+  std::uint64_t sum = 0;
+  for (const auto& r : stats.per_round) sum += r.bits;
+  EXPECT_EQ(sum, stats.total_bits);
+  EXPECT_GE(stats.max_link_bits, 8u);
+  EXPECT_EQ(stats.normalized_rounds(0), stats.rounds_executed);
+  EXPECT_GE(stats.normalized_rounds(8), stats.rounds_executed);
+}
+
+TEST(Simulator, IdenticalResultsAcrossThreadCounts) {
+  const Graph g = graph::grid(8, 8);
+  util::Rng rng(42);
+  const IdAssignment ids = IdAssignment::shuffled(g.num_vertices(), rng);
+
+  auto run_with = [&](util::ThreadPool* pool) {
+    Simulator sim(g, ids, [](Vertex) { return std::make_unique<EchoProgram>(); });
+    Simulator::Options opt;
+    opt.pool = pool;
+    opt.parallel_threshold = 1;  // force parallel path when pool given
+    const RunStats stats = sim.run(opt);
+    std::vector<std::vector<NodeId>> heard;
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      heard.push_back(static_cast<const EchoProgram&>(sim.program(v)).heard_);
+    }
+    return std::make_pair(stats.total_bits, heard);
+  };
+
+  const auto serial = run_with(nullptr);
+  util::ThreadPool pool2(2);
+  util::ThreadPool pool7(7);
+  const auto par2 = run_with(&pool2);
+  const auto par7 = run_with(&pool7);
+  EXPECT_EQ(serial.first, par2.first);
+  EXPECT_EQ(serial.second, par2.second);
+  EXPECT_EQ(serial.first, par7.first);
+  EXPECT_EQ(serial.second, par7.second);
+}
+
+TEST(Simulator, MismatchedIdAssignmentRejected) {
+  const Graph g = graph::path(3);
+  const IdAssignment ids = IdAssignment::identity(2);
+  EXPECT_THROW(Simulator(g, ids, [](Vertex) { return std::make_unique<EchoProgram>(); }),
+               util::CheckError);
+}
+
+TEST(Simulator, NullProgramRejected) {
+  const Graph g = graph::path(2);
+  const IdAssignment ids = IdAssignment::identity(2);
+  EXPECT_THROW(Simulator(g, ids, [](Vertex) { return std::unique_ptr<NodeProgram>{}; }),
+               util::CheckError);
+}
+
+}  // namespace
+}  // namespace decycle::congest

@@ -1,0 +1,102 @@
+#include "core/census.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/subgraph.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace decycle::core {
+namespace {
+
+using graph::Graph;
+using graph::IdAssignment;
+
+CensusResult run_census(const Graph& g, unsigned k_min, unsigned k_max, std::size_t reps = 3) {
+  CensusOptions opt;
+  opt.k_min = k_min;
+  opt.k_max = k_max;
+  opt.repetitions = reps;
+  opt.seed = 7;
+  return cycle_census(g, IdAssignment::identity(g.num_vertices()), opt);
+}
+
+TEST(Census, PureCycleDetectedOnlyAtItsLength) {
+  const auto census = run_census(graph::cycle(7), 3, 9, /*reps=*/1);
+  ASSERT_EQ(census.entries.size(), 7u);
+  for (const auto& entry : census.entries) {
+    // Soundness pins every k != 7 to accept; completeness on the pure cycle
+    // pins k == 7 to reject (every edge lies on the unique C7).
+    EXPECT_EQ(entry.accepted, entry.k != 7) << "k=" << entry.k;
+  }
+  EXPECT_TRUE(census.any_rejected());
+  EXPECT_EQ(census.smallest_detected(), 7u);
+}
+
+TEST(Census, ForestAllAccepted) {
+  util::Rng rng(3);
+  const auto census = run_census(graph::random_tree(40, rng), 3, 8);
+  for (const auto& entry : census.entries) EXPECT_TRUE(entry.accepted);
+  EXPECT_FALSE(census.any_rejected());
+  EXPECT_EQ(census.smallest_detected(), 0u);
+}
+
+TEST(Census, WheelSpectrumAllDetected) {
+  // wheel(8) contains Ck for every 3 <= k <= 8; with a few repetitions all
+  // should be found (dense cycle population through every edge region).
+  const auto census = run_census(graph::wheel(8), 3, 8, /*reps=*/10);
+  for (const auto& entry : census.entries) {
+    EXPECT_FALSE(entry.accepted) << "k=" << entry.k;
+    EXPECT_TRUE(graph::validate_cycle(graph::wheel(8), entry.witness));
+  }
+  EXPECT_EQ(census.smallest_detected(), 3u);
+}
+
+TEST(Census, TotalsAccumulate) {
+  const auto census = run_census(graph::cycle(6), 3, 6, /*reps=*/2);
+  std::uint64_t rounds = 0;
+  std::size_t messages = 0;
+  for (const auto& entry : census.entries) {
+    rounds += entry.rounds;
+    messages += entry.messages;
+  }
+  EXPECT_EQ(census.total_rounds, rounds);
+  EXPECT_EQ(census.total_messages, messages);
+  EXPECT_GT(census.total_messages, 0u);
+}
+
+TEST(Census, GirthUpperBoundMatchesOracle) {
+  // On graphs with plentiful short cycles, smallest_detected() should land
+  // on the true girth.
+  const Graph g = graph::complete(8);
+  const auto census = run_census(g, 3, 6, /*reps=*/6);
+  EXPECT_EQ(census.smallest_detected(), 3u);
+  ASSERT_TRUE(graph::girth(g).has_value());
+  EXPECT_EQ(census.smallest_detected(), *graph::girth(g));
+}
+
+TEST(Census, RejectsBadRange) {
+  const Graph g = graph::cycle(5);
+  CensusOptions opt;
+  opt.k_min = 6;
+  opt.k_max = 5;
+  EXPECT_THROW((void)cycle_census(g, IdAssignment::identity(5), opt), util::CheckError);
+  opt.k_min = 2;
+  opt.k_max = 5;
+  EXPECT_THROW((void)cycle_census(g, IdAssignment::identity(5), opt), util::CheckError);
+}
+
+TEST(Census, DeterministicForSeed) {
+  const Graph g = graph::wheel(9);
+  const auto a = run_census(g, 3, 7, 4);
+  const auto b = run_census(g, 3, 7, 4);
+  ASSERT_EQ(a.entries.size(), b.entries.size());
+  for (std::size_t i = 0; i < a.entries.size(); ++i) {
+    EXPECT_EQ(a.entries[i].accepted, b.entries[i].accepted);
+    EXPECT_EQ(a.entries[i].witness, b.entries[i].witness);
+  }
+}
+
+}  // namespace
+}  // namespace decycle::core

@@ -1,0 +1,93 @@
+#include "core/phase1.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace decycle::core {
+namespace {
+
+TEST(EdgePriority, OrderedByRankThenEndpoints) {
+  const EdgePriority a{5, 1, 2};
+  const EdgePriority b{6, 0, 1};
+  const EdgePriority c{5, 1, 3};
+  const EdgePriority d{5, 0, 9};
+  EXPECT_LT(a, b);  // rank dominates
+  EXPECT_LT(a, c);  // then (u, v)
+  EXPECT_LT(d, a);
+  EXPECT_EQ(a, (EdgePriority{5, 1, 2}));
+}
+
+TEST(RankRange, GrowsWithNAndSaturates) {
+  EXPECT_EQ(rank_range_for(2), 16u);
+  EXPECT_EQ(rank_range_for(10), 10000u);
+  EXPECT_GE(rank_range_for(100000), 1ULL << 62);  // saturated
+  EXPECT_EQ(rank_range_for(1ULL << 40), 1ULL << 62);
+}
+
+TEST(RankRange, AlwaysCoversMSquared) {
+  // m <= n(n-1)/2, and the tester draws from >= n^4 >= m^2 (pre-saturation),
+  // so Lemma 5's analysis applies verbatim.
+  for (const std::uint64_t n : {3ULL, 10ULL, 100ULL, 1000ULL}) {
+    const std::uint64_t m = n * (n - 1) / 2;
+    EXPECT_GE(rank_range_for(n), m * m) << n;
+  }
+}
+
+TEST(DrawRank, WithinRange) {
+  util::Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t r = draw_rank(rng, 100);
+    EXPECT_GE(r, 1u);
+    EXPECT_LE(r, 100u);
+  }
+}
+
+TEST(UniqueMinRank, SingleEdgeAlwaysUnique) {
+  util::Rng rng(2);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(unique_min_rank_trial(1, rng));
+}
+
+TEST(UniqueMinRank, Lemma5BoundEmpirically) {
+  // Lemma 5: Pr[unique min] >= 1/e² ≈ 0.1353 with ranks from [1, m²].
+  // The truth is far higher; assert the bound with a 95% Wilson interval.
+  util::Rng rng(3);
+  for (const std::size_t m : {2UL, 10UL, 100UL, 1000UL}) {
+    std::uint64_t unique = 0;
+    constexpr std::uint64_t kTrials = 2000;
+    for (std::uint64_t t = 0; t < kTrials; ++t) {
+      if (unique_min_rank_trial(m, rng)) ++unique;
+    }
+    const auto ci = util::wilson_interval(unique, kTrials);
+    EXPECT_GT(ci.low, 1.0 / (2.718281828 * 2.718281828)) << "m=" << m;
+  }
+}
+
+TEST(UniqueMinRank, RejectsZeroEdges) {
+  util::Rng rng(4);
+  EXPECT_THROW((void)unique_min_rank_trial(0, rng), util::CheckError);
+}
+
+TEST(Repetitions, MatchesFormula) {
+  // ceil(e² ln 3 / ε): e²·ln3 ≈ 8.1175.
+  EXPECT_EQ(recommended_repetitions(1.0), 9u);
+  EXPECT_EQ(recommended_repetitions(0.5), 17u);
+  EXPECT_EQ(recommended_repetitions(0.1), 82u);
+  EXPECT_EQ(recommended_repetitions(0.01), 812u);
+}
+
+TEST(Repetitions, ScalesLinearlyInInverseEpsilon) {
+  const auto r1 = static_cast<double>(recommended_repetitions(0.02));
+  const auto r2 = static_cast<double>(recommended_repetitions(0.01));
+  EXPECT_NEAR(r2 / r1, 2.0, 0.01);
+}
+
+TEST(Repetitions, ClampsDegenerateEpsilon) {
+  EXPECT_GE(recommended_repetitions(0.0), recommended_repetitions(1e-6));
+  EXPECT_GE(recommended_repetitions(-1.0), 1u);
+  EXPECT_GE(recommended_repetitions(2.0), 1u);
+}
+
+}  // namespace
+}  // namespace decycle::core

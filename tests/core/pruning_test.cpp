@@ -1,0 +1,228 @@
+#include "core/pruning.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/sequence.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace decycle::core {
+namespace {
+
+std::vector<IdSeq> random_candidates(util::Rng& rng, unsigned t, std::size_t count,
+                                     std::uint64_t universe) {
+  std::vector<IdSeq> out;
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto ids = rng.sample_distinct(universe, t - 1);
+    IdSeq s;
+    for (const auto id : ids) s.push_back(id + 1);  // IDs start at 1
+    out.push_back(std::move(s));
+  }
+  canonicalize(out);
+  return out;
+}
+
+TEST(Pruning, FirstCandidateAlwaysAccepted) {
+  // The all-fake completion set guarantees acceptance of the first sequence
+  // (paper §3.3 discussion).
+  PrunerConfig cfg;
+  cfg.k = 9;
+  auto pruner = make_pruner(PruningMode::kRepresentative, cfg);
+  std::vector<IdSeq> candidates{IdSeq{1, 2}};
+  const auto result = pruner->select(candidates, 3);
+  ASSERT_EQ(result.accepted.size(), 1u);
+  EXPECT_EQ(result.accepted[0], (IdSeq{1, 2}));
+}
+
+TEST(Pruning, WithoutFakeIdsSmallPoolForwardsNothing) {
+  // The paper's C9 walkthrough: node 3 holds R = {(1,2)}, I = {1,2}; without
+  // fake IDs no 6-element completion exists and (1,2) is dropped.
+  PrunerConfig cfg;
+  cfg.k = 9;
+  cfg.fake_ids = false;
+  auto pruner = make_pruner(PruningMode::kRepresentative, cfg);
+  std::vector<IdSeq> candidates{IdSeq{1, 2}};
+  EXPECT_TRUE(pruner->select(candidates, 3).accepted.empty());
+
+  // The reference implementation agrees.
+  auto ref = make_pruner(PruningMode::kReference, cfg);
+  EXPECT_TRUE(ref->select(candidates, 3).accepted.empty());
+}
+
+TEST(Pruning, RedundantSequencesDropped) {
+  // k=5, t=2 (q=3): singleton sequences. After q+1 = 4 are accepted, any
+  // completion set X disjoint from a 5th singleton would have to hit four
+  // pairwise-disjoint accepted singletons with only q = 3 elements.
+  PrunerConfig cfg;
+  cfg.k = 5;
+  auto pruner = make_pruner(PruningMode::kRepresentative, cfg);
+  std::vector<IdSeq> candidates;
+  for (NodeId id = 1; id <= 6; ++id) candidates.push_back(IdSeq{id});
+  const auto result = pruner->select(candidates, 2);
+  ASSERT_EQ(result.accepted.size(), 4u);  // exactly (k-t+1)^(t-1) = 4
+  EXPECT_EQ(result.accepted.size(), lemma3_bound(5, 2));
+  // And the reference implementation agrees on the exact same subset.
+  auto ref = make_pruner(PruningMode::kReference, cfg);
+  const auto ref_result = ref->select(candidates, 2);
+  ASSERT_EQ(ref_result.accepted.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(result.accepted[i], ref_result.accepted[i]);
+}
+
+TEST(Pruning, NaivePassesEverythingThrough) {
+  PrunerConfig cfg;
+  cfg.k = 8;
+  auto pruner = make_pruner(PruningMode::kNaive, cfg);
+  util::Rng rng(3);
+  const auto candidates = random_candidates(rng, 3, 40, 100);
+  const auto result = pruner->select(candidates, 3);
+  EXPECT_EQ(result.accepted.size(), candidates.size());
+  EXPECT_FALSE(result.overflow);
+}
+
+TEST(Pruning, NaiveCapsAndFlagsOverflow) {
+  PrunerConfig cfg;
+  cfg.k = 8;
+  cfg.naive_cap = 10;
+  auto pruner = make_pruner(PruningMode::kNaive, cfg);
+  util::Rng rng(4);
+  const auto candidates = random_candidates(rng, 3, 40, 1000);
+  const auto result = pruner->select(candidates, 3);
+  EXPECT_EQ(result.accepted.size(), 10u);
+  EXPECT_TRUE(result.overflow);
+}
+
+TEST(Pruning, RejectsWrongLengthCandidates) {
+  PrunerConfig cfg;
+  cfg.k = 6;
+  auto pruner = make_pruner(PruningMode::kRepresentative, cfg);
+  std::vector<IdSeq> candidates{IdSeq{1, 2, 3}};  // length 3 but t=3 needs 2
+  EXPECT_THROW((void)pruner->select(candidates, 3), util::CheckError);
+}
+
+TEST(Pruning, RejectsBadRound) {
+  PrunerConfig cfg;
+  cfg.k = 6;
+  auto pruner = make_pruner(PruningMode::kRepresentative, cfg);
+  std::vector<IdSeq> candidates{IdSeq{1}};
+  EXPECT_THROW((void)pruner->select(candidates, 4), util::CheckError);  // t > k/2
+}
+
+TEST(Lemma3Bound, Values) {
+  EXPECT_EQ(lemma3_bound(6, 2), 5u);    // (6-2+1)^1
+  EXPECT_EQ(lemma3_bound(6, 3), 16u);   // 4^2
+  EXPECT_EQ(lemma3_bound(9, 4), 216u);  // 6^3
+  EXPECT_EQ(lemma3_bound(3, 1), 1u);    // no pruning rounds at all for k=3
+}
+
+/// The fast hitting-set pruner must be *decision-identical* to the literal
+/// Instruction 15-24 implementation, in the same candidate order.
+class PrunerEquivalence : public ::testing::TestWithParam<std::tuple<unsigned, unsigned, bool>> {};
+
+TEST_P(PrunerEquivalence, FastMatchesReference) {
+  const auto [k, t, fake_ids] = GetParam();
+  PrunerConfig cfg;
+  cfg.k = k;
+  cfg.fake_ids = fake_ids;
+  auto fast = make_pruner(PruningMode::kRepresentative, cfg);
+  auto ref = make_pruner(PruningMode::kReference, cfg);
+
+  util::Rng rng(1000 * k + 10 * t + (fake_ids ? 1 : 0));
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::size_t count = 1 + static_cast<std::size_t>(rng.next_below(25));
+    const std::uint64_t universe = 3 + rng.next_below(9);  // small: subsets stay enumerable
+    std::vector<IdSeq> candidates;
+    {
+      // Universe may be smaller than t-1; skip impossible draws.
+      if (universe < t - 1) continue;
+      candidates = random_candidates(rng, t, count, universe);
+    }
+    const auto fast_result = fast->select(candidates, t);
+    const auto ref_result = ref->select(candidates, t);
+    ASSERT_EQ(fast_result.accepted.size(), ref_result.accepted.size())
+        << "k=" << k << " t=" << t << " fake=" << fake_ids << " trial=" << trial;
+    for (std::size_t i = 0; i < fast_result.accepted.size(); ++i) {
+      EXPECT_EQ(fast_result.accepted[i], ref_result.accepted[i]) << to_string(fast_result.accepted[i]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PrunerEquivalence,
+    ::testing::Values(std::tuple{5u, 2u, true}, std::tuple{6u, 2u, true}, std::tuple{6u, 3u, true},
+                      std::tuple{7u, 2u, true}, std::tuple{7u, 3u, true}, std::tuple{8u, 3u, true},
+                      std::tuple{8u, 4u, true}, std::tuple{9u, 4u, true}, std::tuple{5u, 2u, false},
+                      std::tuple{6u, 3u, false}, std::tuple{7u, 3u, false},
+                      std::tuple{8u, 4u, false}));
+
+/// Lemma 3: the accepted family never exceeds (k-t+1)^(t-1).
+class Lemma3Property : public ::testing::TestWithParam<std::pair<unsigned, unsigned>> {};
+
+TEST_P(Lemma3Property, AcceptedFamilyBounded) {
+  const auto [k, t] = GetParam();
+  PrunerConfig cfg;
+  cfg.k = k;
+  auto pruner = make_pruner(PruningMode::kRepresentative, cfg);
+  util::Rng rng(31 * k + t);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t count = 1 + static_cast<std::size_t>(rng.next_below(200));
+    const std::uint64_t universe = t + rng.next_below(40);
+    if (universe < t - 1) continue;
+    const auto candidates = random_candidates(rng, t, count, universe);
+    const auto result = pruner->select(candidates, t);
+    EXPECT_LE(result.accepted.size(), lemma3_bound(k, t))
+        << "k=" << k << " t=" << t << " trial=" << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, Lemma3Property,
+                         ::testing::Values(std::pair{5u, 2u}, std::pair{6u, 2u}, std::pair{6u, 3u},
+                                           std::pair{7u, 2u}, std::pair{7u, 3u}, std::pair{8u, 2u},
+                                           std::pair{8u, 3u}, std::pair{8u, 4u}, std::pair{9u, 3u},
+                                           std::pair{9u, 4u}, std::pair{10u, 5u},
+                                           std::pair{11u, 5u}));
+
+/// The witness-substitution invariant (Lemma 2's completeness engine): if a
+/// discarded candidate L had a disjoint completion set C (|C| = k-t real
+/// IDs), some accepted L' is also disjoint from C.
+class SubstitutionInvariant : public ::testing::TestWithParam<std::pair<unsigned, unsigned>> {};
+
+TEST_P(SubstitutionInvariant, DiscardedSequencesAreCovered) {
+  const auto [k, t] = GetParam();
+  const unsigned q = k - t;
+  PrunerConfig cfg;
+  cfg.k = k;
+  auto pruner = make_pruner(PruningMode::kRepresentative, cfg);
+  util::Rng rng(97 * k + t);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::uint64_t universe = (t - 1) + q + rng.next_below(10);
+    const auto candidates = random_candidates(rng, t, 1 + rng.next_below(60), universe);
+    const auto result = pruner->select(candidates, t);
+
+    // Sample completion sets C and check the representation property.
+    for (int probe = 0; probe < 50; ++probe) {
+      const auto raw = rng.sample_distinct(universe, q);
+      IdSeq completion;
+      for (const auto id : raw) completion.push_back(id + 1);
+      const auto disjoint_from_completion = [&](const IdSeq& s) {
+        return seqs_disjoint(s, completion);
+      };
+      const bool any_candidate =
+          std::any_of(candidates.begin(), candidates.end(), disjoint_from_completion);
+      const bool any_accepted =
+          std::any_of(result.accepted.begin(), result.accepted.end(), disjoint_from_completion);
+      EXPECT_EQ(any_candidate, any_accepted)
+          << "completion " << to_string(completion) << " lost by pruning (k=" << k << ", t=" << t
+          << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SubstitutionInvariant,
+                         ::testing::Values(std::pair{5u, 2u}, std::pair{6u, 3u}, std::pair{7u, 2u},
+                                           std::pair{7u, 3u}, std::pair{8u, 4u}, std::pair{9u, 3u},
+                                           std::pair{9u, 4u}));
+
+}  // namespace
+}  // namespace decycle::core

@@ -1,0 +1,157 @@
+#include "core/representative_family.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace decycle::core {
+namespace {
+
+TEST(HittingSet, EmptyFamilyAlwaysHittable) {
+  EXPECT_TRUE(exists_bounded_hitting_set({}, IdSeq{1, 2}, 0));
+}
+
+TEST(HittingSet, SingleSetNeedsBudget) {
+  std::vector<IdSeq> family{IdSeq{1, 2, 3}};
+  EXPECT_FALSE(exists_bounded_hitting_set(family, IdSeq{}, 0));
+  EXPECT_TRUE(exists_bounded_hitting_set(family, IdSeq{}, 1));
+}
+
+TEST(HittingSet, AvoidBlocksOnlyOption) {
+  std::vector<IdSeq> family{IdSeq{5}};
+  EXPECT_FALSE(exists_bounded_hitting_set(family, IdSeq{5}, 3));
+  EXPECT_TRUE(exists_bounded_hitting_set(family, IdSeq{6}, 1));
+}
+
+TEST(HittingSet, SharedElementHitsAll) {
+  std::vector<IdSeq> family{IdSeq{1, 9}, IdSeq{2, 9}, IdSeq{3, 9}};
+  EXPECT_TRUE(exists_bounded_hitting_set(family, IdSeq{}, 1));  // {9}
+  EXPECT_FALSE(exists_bounded_hitting_set(family, IdSeq{9}, 2));  // must pick 1,2,3
+  EXPECT_TRUE(exists_bounded_hitting_set(family, IdSeq{9}, 3));
+}
+
+TEST(HittingSet, DisjointSetsNeedOneEach) {
+  std::vector<IdSeq> family{IdSeq{1, 2}, IdSeq{3, 4}, IdSeq{5, 6}};
+  EXPECT_FALSE(exists_bounded_hitting_set(family, IdSeq{}, 2));
+  EXPECT_TRUE(exists_bounded_hitting_set(family, IdSeq{}, 3));
+}
+
+TEST(HittingSet, MatchesBruteForceOnRandomInstances) {
+  util::Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::uint64_t universe = 6;
+    const std::size_t sets = 1 + rng.next_below(5);
+    std::vector<IdSeq> family;
+    for (std::size_t i = 0; i < sets; ++i) {
+      const auto ids = rng.sample_distinct(universe, 1 + rng.next_below(3));
+      IdSeq s;
+      for (const auto id : ids) s.push_back(id + 1);
+      family.push_back(std::move(s));
+    }
+    IdSeq avoid;
+    if (rng.next_bool(0.5)) avoid.push_back(1 + rng.next_below(universe));
+    const auto budget = static_cast<unsigned>(rng.next_below(4));
+
+    // Brute force over all subsets of {1..universe} of size <= budget.
+    bool brute = false;
+    for (std::uint32_t mask = 0; mask < (1u << universe) && !brute; ++mask) {
+      if (static_cast<unsigned>(std::popcount(mask)) > budget) continue;
+      bool ok = true;
+      for (const IdSeq& s : family) {
+        bool hit = false;
+        for (const NodeId e : s) {
+          if (mask & (1u << (e - 1))) hit = true;
+        }
+        if (!hit) ok = false;
+      }
+      if (ok) {
+        for (std::uint64_t b = 0; b < universe; ++b) {
+          if ((mask & (1u << b)) && avoid.contains(b + 1)) ok = false;
+        }
+      }
+      brute = brute || ok;
+    }
+    EXPECT_EQ(exists_bounded_hitting_set(family, avoid, budget), brute) << "trial=" << trial;
+  }
+}
+
+TEST(RepresentativeFamily, KeepsEverythingWhenBudgetHuge) {
+  std::vector<IdSeq> family{IdSeq{1}, IdSeq{2}, IdSeq{3}};
+  const auto idx = representative_subfamily(family, 10);
+  EXPECT_EQ(idx.size(), 3u);
+}
+
+TEST(RepresentativeFamily, SizeBound) {
+  // p = 2, q = 2: size <= (q+1)^p = 9 regardless of input size.
+  util::Rng rng(9);
+  std::vector<IdSeq> family;
+  for (int i = 0; i < 300; ++i) {
+    const auto ids = rng.sample_distinct(30, 2);
+    family.push_back(IdSeq{ids[0] + 1, ids[1] + 1});
+  }
+  const auto idx = representative_subfamily(family, 2);
+  EXPECT_LE(idx.size(), 9u);
+  EXPECT_GE(idx.size(), 1u);
+}
+
+TEST(RepresentativeFamily, RepresentationProperty) {
+  // For every C with |C| <= q: some member avoids C iff some chosen member
+  // avoids C (the Erdős–Hajnal–Moon guarantee).
+  util::Rng rng(11);
+  for (int trial = 0; trial < 30; ++trial) {
+    constexpr std::uint64_t kUniverse = 8;
+    constexpr unsigned q = 3;
+    std::vector<IdSeq> family;
+    const std::size_t count = 1 + rng.next_below(40);
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto ids = rng.sample_distinct(kUniverse, 1 + rng.next_below(3));
+      IdSeq s;
+      for (const auto id : ids) s.push_back(id + 1);
+      family.push_back(std::move(s));
+    }
+    const auto idx = representative_subfamily(family, q);
+
+    // Exhaustive over all C ⊆ {1..8} with |C| <= 3.
+    for (std::uint32_t mask = 0; mask < (1u << kUniverse); ++mask) {
+      if (std::popcount(mask) > static_cast<int>(q)) continue;
+      IdSeq c;
+      for (std::uint64_t b = 0; b < kUniverse; ++b) {
+        if (mask & (1u << b)) c.push_back(b + 1);
+      }
+      const auto avoids = [&](const IdSeq& s) { return seqs_disjoint(s, c); };
+      const bool in_family = std::any_of(family.begin(), family.end(), avoids);
+      bool in_chosen = false;
+      for (const std::size_t i : idx) in_chosen = in_chosen || avoids(family[i]);
+      ASSERT_EQ(in_family, in_chosen) << "trial=" << trial << " C=" << to_string(c);
+    }
+  }
+}
+
+TEST(RepresentativeFamily, IndicesAreSortedAndValid) {
+  std::vector<IdSeq> family{IdSeq{1}, IdSeq{1}, IdSeq{2}};
+  const auto idx = representative_subfamily(family, 1);
+  EXPECT_TRUE(std::is_sorted(idx.begin(), idx.end()));
+  for (const auto i : idx) EXPECT_LT(i, family.size());
+}
+
+TEST(EhmBound, Values) {
+  EXPECT_DOUBLE_EQ(ehm_bound(2, 2), 6.0);    // C(4,2)
+  EXPECT_DOUBLE_EQ(ehm_bound(3, 4), 35.0);   // C(7,3)
+  EXPECT_DOUBLE_EQ(ehm_bound(0, 5), 1.0);
+}
+
+TEST(EhmBound, GreedyCanExceedOptimalButNotLemma3) {
+  // The greedy respects (q+1)^p which is >= C(p+q, p); sanity-check ordering.
+  for (unsigned p = 1; p <= 4; ++p) {
+    for (unsigned q = 1; q <= 4; ++q) {
+      double greedy_bound = 1;
+      for (unsigned i = 0; i < p; ++i) greedy_bound *= q + 1;
+      EXPECT_GE(greedy_bound, ehm_bound(p, q));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace decycle::core

@@ -1,0 +1,54 @@
+#include "core/sequence.hpp"
+
+#include <gtest/gtest.h>
+
+namespace decycle::core {
+namespace {
+
+TEST(Sequence, Contains) {
+  const IdSeq s{3, 1, 4};
+  EXPECT_TRUE(seq_contains(s, 1));
+  EXPECT_FALSE(seq_contains(s, 2));
+}
+
+TEST(Sequence, Disjointness) {
+  EXPECT_TRUE(seqs_disjoint(IdSeq{1, 2}, IdSeq{3, 4}));
+  EXPECT_FALSE(seqs_disjoint(IdSeq{1, 2}, IdSeq{2, 3}));
+  EXPECT_TRUE(seqs_disjoint(IdSeq{}, IdSeq{1}));
+  EXPECT_TRUE(seqs_disjoint(IdSeq{}, IdSeq{}));
+}
+
+TEST(Sequence, UnionSize) {
+  EXPECT_EQ(union_size(IdSeq{1, 2}, IdSeq{3, 4}, 5), 5u);
+  EXPECT_EQ(union_size(IdSeq{1, 2}, IdSeq{2, 3}, 1), 3u);   // overlaps collapse
+  EXPECT_EQ(union_size(IdSeq{}, IdSeq{}, 9), 1u);
+  EXPECT_EQ(union_size(IdSeq{7}, IdSeq{7}, 7), 1u);
+}
+
+TEST(Sequence, UnionSizeMatchesPaperCondition) {
+  // |L1 ∪ L2 ∪ {myid}| = k for the C5 of Figure 1: L1=(u,x), L2=(v,y), z.
+  const IdSeq l1{10, 20};
+  const IdSeq l2{11, 21};
+  EXPECT_EQ(union_size(l1, l2, 30), 5u);
+}
+
+TEST(Sequence, CanonicalizeSortsAndDedupes) {
+  std::vector<IdSeq> seqs;
+  seqs.push_back(IdSeq{2, 1});
+  seqs.push_back(IdSeq{1, 2});
+  seqs.push_back(IdSeq{2, 1});
+  seqs.push_back(IdSeq{1});
+  canonicalize(seqs);
+  ASSERT_EQ(seqs.size(), 3u);
+  EXPECT_EQ(seqs[0], IdSeq{1});
+  EXPECT_EQ(seqs[1], (IdSeq{1, 2}));
+  EXPECT_EQ(seqs[2], (IdSeq{2, 1}));
+}
+
+TEST(Sequence, ToString) {
+  EXPECT_EQ(to_string(IdSeq{1, 2, 3}), "(1 2 3)");
+  EXPECT_EQ(to_string(IdSeq{}), "()");
+}
+
+}  // namespace
+}  // namespace decycle::core

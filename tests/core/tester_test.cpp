@@ -1,0 +1,240 @@
+#include "core/tester.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/far_generators.hpp"
+#include "graph/generators.hpp"
+#include "graph/subgraph.hpp"
+#include "util/rng.hpp"
+
+namespace decycle::core {
+namespace {
+
+using graph::Graph;
+using graph::IdAssignment;
+
+TestVerdict run_tester(const Graph& g, const IdAssignment& ids, unsigned k, std::size_t reps,
+                       std::uint64_t seed = 1) {
+  TesterOptions opt;
+  opt.k = k;
+  opt.repetitions = reps;
+  opt.seed = seed;
+  return test_ck_freeness(g, ids, opt);
+}
+
+TEST(Tester, PureCycleAlwaysRejectedInOneRepetition) {
+  // Every edge lies on the unique Ck, so whichever edge wins Phase 1, its
+  // Phase 2 must fire (Lemma 2 needs no farness).
+  for (unsigned k = 3; k <= 9; ++k) {
+    const Graph g = graph::cycle(k);
+    const IdAssignment ids = IdAssignment::identity(k);
+    const auto verdict = run_tester(g, ids, k, 1);
+    EXPECT_FALSE(verdict.accepted) << "k=" << k;
+    EXPECT_EQ(verdict.witness.size(), k);
+    EXPECT_TRUE(graph::validate_cycle(g, verdict.witness));
+  }
+}
+
+struct SoundnessCase {
+  unsigned k;
+  graph::CkFreeFamily family;
+  std::uint64_t seed;
+};
+
+class TesterSoundness : public ::testing::TestWithParam<SoundnessCase> {};
+
+TEST_P(TesterSoundness, OneSidedErrorNeverRejectsFreeGraphs) {
+  const auto [k, family, seed] = GetParam();
+  util::Rng rng(seed);
+  const Graph g = graph::ck_free_instance(family, k, 48, rng);
+  const IdAssignment ids = IdAssignment::random_quadratic(g.num_vertices(), rng);
+  // validate_witnesses is on: any bogus rejection would throw, and the
+  // verdict must be accept regardless of repetitions.
+  const auto verdict = run_tester(g, ids, k, 12, seed);
+  EXPECT_TRUE(verdict.accepted)
+      << "family=" << graph::family_name(family) << " k=" << k << " seed=" << seed;
+  EXPECT_EQ(verdict.rejecting_nodes, 0u);
+}
+
+std::vector<SoundnessCase> soundness_cases() {
+  std::vector<SoundnessCase> cases;
+  std::uint64_t seed = 100;
+  for (const unsigned k : {3u, 4u, 5u, 6u, 7u}) {
+    for (const auto family : graph::ck_free_families_for(k)) {
+      cases.push_back({k, family, seed++});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, TesterSoundness, ::testing::ValuesIn(soundness_cases()));
+
+TEST(Tester, DetectsPlantedInstances) {
+  util::Rng rng(7);
+  for (const unsigned k : {3u, 4u, 5u, 6u, 7u}) {
+    graph::PlantedOptions opt;
+    opt.k = k;
+    opt.num_cycles = 6;
+    opt.padding_leaves = 10;
+    const auto inst = graph::planted_cycles_instance(opt, rng);
+    const IdAssignment ids = IdAssignment::identity(inst.graph.num_vertices());
+    // With certified ε ≈ 6/m, the recommended repetitions give >= 2/3
+    // detection; with a fixed seed and this many cycles it is effectively
+    // certain. Use the recommended count (repetitions = 0).
+    TesterOptions topt;
+    topt.k = k;
+    topt.epsilon = inst.certified_epsilon();
+    topt.seed = 11 * k;
+    const auto verdict = test_ck_freeness(inst.graph, ids, topt);
+    EXPECT_FALSE(verdict.accepted) << "k=" << k;
+    EXPECT_TRUE(graph::validate_cycle(inst.graph, verdict.witness));
+  }
+}
+
+TEST(Tester, RepetitionCountDefaultsToFormula) {
+  const Graph g = graph::path(4);
+  const IdAssignment ids = IdAssignment::identity(4);
+  TesterOptions opt;
+  opt.k = 5;
+  opt.epsilon = 0.25;
+  const auto verdict = test_ck_freeness(g, ids, opt);
+  EXPECT_EQ(verdict.repetitions, recommended_repetitions(0.25));
+  EXPECT_TRUE(verdict.accepted);
+}
+
+TEST(Tester, RoundsMatchSchedule) {
+  const Graph g = graph::cycle(6);
+  const IdAssignment ids = IdAssignment::identity(6);
+  const std::size_t reps = 5;
+  const auto verdict = run_tester(g, ids, 6, reps);
+  // Each repetition spans (k/2 + 2) rounds; the simulator may stop early
+  // only if nothing is in flight.
+  EXPECT_LE(verdict.stats.rounds_executed, reps * (6 / 2 + 2) + 1);
+  EXPECT_GE(verdict.stats.rounds_executed, reps * (6 / 2 + 2) - 1);
+}
+
+TEST(Tester, DeterministicForFixedSeed) {
+  util::Rng rng(9);
+  const Graph g = graph::random_connected(40, 70, rng);
+  const IdAssignment ids = IdAssignment::identity(40);
+  const auto v1 = run_tester(g, ids, 5, 10, 42);
+  const auto v2 = run_tester(g, ids, 5, 10, 42);
+  EXPECT_EQ(v1.accepted, v2.accepted);
+  EXPECT_EQ(v1.rejecting_nodes, v2.rejecting_nodes);
+  EXPECT_EQ(v1.stats.total_bits, v2.stats.total_bits);
+  EXPECT_EQ(v1.witness, v2.witness);
+}
+
+TEST(Tester, ParallelSimulationMatchesSerial) {
+  util::Rng rng(10);
+  const Graph g = graph::random_connected(60, 110, rng);
+  const IdAssignment ids = IdAssignment::identity(60);
+  TesterOptions opt;
+  opt.k = 5;
+  opt.repetitions = 8;
+  opt.seed = 3;
+  const auto serial = test_ck_freeness(g, ids, opt);
+  util::ThreadPool pool(4);
+  opt.pool = &pool;
+  const auto parallel = test_ck_freeness(g, ids, opt);
+  EXPECT_EQ(serial.accepted, parallel.accepted);
+  EXPECT_EQ(serial.rejecting_nodes, parallel.rejecting_nodes);
+  EXPECT_EQ(serial.stats.total_bits, parallel.stats.total_bits);
+}
+
+TEST(Tester, ConcurrentExecutionsStaySound) {
+  // Dense graph with many overlapping cycles: every node serves some edge,
+  // executions preempt each other, and every rejection must still be a real
+  // k-cycle (validated internally).
+  const Graph g = graph::complete(10);
+  const IdAssignment ids = IdAssignment::identity(10);
+  const auto verdict = run_tester(g, ids, 5, 4);
+  EXPECT_FALSE(verdict.accepted);
+  EXPECT_TRUE(graph::validate_cycle(g, verdict.witness));
+  EXPECT_GT(verdict.rejecting_nodes, 0u);
+}
+
+TEST(Tester, PrioritySwitchesHappenOnDenseGraphs) {
+  const Graph g = graph::complete(12);
+  const IdAssignment ids = IdAssignment::identity(12);
+  const auto verdict = run_tester(g, ids, 4, 6);
+  // With 66 edges and 12 nodes, most nodes must discard or switch at least
+  // once across 6 repetitions.
+  EXPECT_GT(verdict.total_discarded + verdict.total_switches, 0u);
+}
+
+TEST(Tester, HandlesDisconnectedGraphsAndIsolatedVertices) {
+  graph::GraphBuilder b;
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 0);  // triangle
+  b.ensure_vertices(6);  // vertices 3..5 isolated
+  const Graph g = b.build();
+  const IdAssignment ids = IdAssignment::identity(6);
+  const auto verdict = run_tester(g, ids, 3, 2);
+  EXPECT_FALSE(verdict.accepted);
+}
+
+TEST(Tester, NaivePruningModeAgreesOnSmallGraphs) {
+  util::Rng rng(13);
+  const Graph g = graph::random_connected(20, 30, rng);
+  const IdAssignment ids = IdAssignment::identity(20);
+  TesterOptions opt;
+  opt.k = 5;
+  opt.repetitions = 6;
+  opt.seed = 5;
+  const auto fast = test_ck_freeness(g, ids, opt);
+  opt.detect.pruning = PruningMode::kNaive;
+  const auto naive = test_ck_freeness(g, ids, opt);
+  EXPECT_EQ(fast.accepted, naive.accepted);
+}
+
+TEST(Tester, FakeIdAblationStaysSoundOnFreeGraphs) {
+  util::Rng rng(14);
+  const Graph g = graph::ck_free_instance(graph::CkFreeFamily::kHighGirth, 7, 40, rng);
+  const IdAssignment ids = IdAssignment::identity(g.num_vertices());
+  TesterOptions opt;
+  opt.k = 7;
+  opt.repetitions = 6;
+  opt.detect.fake_ids = false;
+  const auto verdict = test_ck_freeness(g, ids, opt);
+  EXPECT_TRUE(verdict.accepted);  // dropping fake IDs can only lose detections
+}
+
+TEST(Tester, FakeIdAblationMissesLongCycle) {
+  // §3.3: on a bare C9 the information pool I is too small without fake
+  // IDs, nothing propagates past round 2, and the cycle escapes.
+  const Graph g = graph::cycle(9);
+  const IdAssignment ids = IdAssignment::identity(9);
+  TesterOptions opt;
+  opt.k = 9;
+  opt.repetitions = 3;
+  opt.detect.fake_ids = false;
+  const auto without = test_ck_freeness(g, ids, opt);
+  EXPECT_TRUE(without.accepted);  // detection lost
+
+  opt.detect.fake_ids = true;
+  const auto with = test_ck_freeness(g, ids, opt);
+  EXPECT_FALSE(with.accepted);  // restored
+}
+
+TEST(Tester, RejectsBadK) {
+  const Graph g = graph::path(3);
+  const IdAssignment ids = IdAssignment::identity(3);
+  TesterOptions opt;
+  opt.k = 2;
+  EXPECT_THROW((void)test_ck_freeness(g, ids, opt), util::CheckError);
+}
+
+TEST(Tester, MessageBoundInstrumentationPopulated) {
+  const Graph g = graph::complete_bipartite(6, 6);
+  const IdAssignment ids = IdAssignment::identity(12);
+  const auto verdict = run_tester(g, ids, 6, 3);
+  EXPECT_GE(verdict.max_bundle_sequences, 1u);
+  std::uint64_t bound = 1;
+  for (unsigned t = 2; t <= 3; ++t) bound = std::max(bound, lemma3_bound(6, t));
+  EXPECT_LE(verdict.max_bundle_sequences, bound);
+}
+
+}  // namespace
+}  // namespace decycle::core

@@ -1,0 +1,63 @@
+#include "core/witness.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace decycle::core {
+namespace {
+
+using graph::Graph;
+using graph::IdAssignment;
+using graph::NodeId;
+
+TEST(Witness, MapsIdsToVertices) {
+  const Graph g = graph::cycle(5);
+  util::Rng rng(1);
+  const IdAssignment ids = IdAssignment::random_quadratic(5, rng);
+  std::vector<NodeId> cycle_ids;
+  for (graph::Vertex v = 0; v < 5; ++v) cycle_ids.push_back(ids.id_of(v));
+  const auto vertices = validated_witness_vertices(g, ids, cycle_ids);
+  ASSERT_EQ(vertices.size(), 5u);
+  for (graph::Vertex v = 0; v < 5; ++v) EXPECT_EQ(vertices[v], v);
+}
+
+TEST(Witness, AcceptsRotatedOrder) {
+  const Graph g = graph::cycle(4);
+  const IdAssignment ids = IdAssignment::identity(4);
+  const std::vector<NodeId> rotated{2, 3, 0, 1};
+  EXPECT_NO_THROW((void)validated_witness_vertices(g, ids, rotated));
+}
+
+TEST(Witness, RejectsUnknownId) {
+  const Graph g = graph::cycle(4);
+  const IdAssignment ids = IdAssignment::identity(4);
+  const std::vector<NodeId> bad{0, 1, 99};
+  EXPECT_THROW((void)validated_witness_vertices(g, ids, bad), util::CheckError);
+}
+
+TEST(Witness, RejectsNonCycle) {
+  const Graph g = graph::path(5);  // no closing edge
+  const IdAssignment ids = IdAssignment::identity(5);
+  const std::vector<NodeId> open{0, 1, 2, 3, 4};
+  EXPECT_THROW((void)validated_witness_vertices(g, ids, open), util::CheckError);
+}
+
+TEST(Witness, RejectsRepeatedVertex) {
+  const Graph g = graph::complete(5);
+  const IdAssignment ids = IdAssignment::identity(5);
+  const std::vector<NodeId> repeat{0, 1, 0, 2};
+  EXPECT_THROW((void)validated_witness_vertices(g, ids, repeat), util::CheckError);
+}
+
+TEST(Witness, RejectsTooShort) {
+  const Graph g = graph::complete(4);
+  const IdAssignment ids = IdAssignment::identity(4);
+  const std::vector<NodeId> pair{0, 1};
+  EXPECT_THROW((void)validated_witness_vertices(g, ids, pair), util::CheckError);
+}
+
+}  // namespace
+}  // namespace decycle::core

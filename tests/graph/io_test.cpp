@@ -1,0 +1,69 @@
+#include "graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace decycle::graph {
+namespace {
+
+TEST(GraphIo, RoundTrip) {
+  util::Rng rng(1);
+  const Graph g = erdos_renyi_gnm(40, 80, rng);
+  std::stringstream buffer;
+  write_edge_list(buffer, g);
+  const Graph back = read_edge_list(buffer);
+  EXPECT_EQ(back.num_vertices(), g.num_vertices());
+  ASSERT_EQ(back.num_edges(), g.num_edges());
+  for (std::size_t i = 0; i < g.num_edges(); ++i) {
+    EXPECT_EQ(back.edges()[i], g.edges()[i]);
+  }
+}
+
+TEST(GraphIo, SkipsComments) {
+  std::istringstream in("# a comment\n3 2\n# another\n0 1\n1 2\n");
+  const Graph g = read_edge_list(in);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.has_edge(1, 2));
+}
+
+TEST(GraphIo, EmptyGraphRoundTrip) {
+  std::stringstream buffer;
+  write_edge_list(buffer, Graph::from_edges(5, {}));
+  const Graph g = read_edge_list(buffer);
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(GraphIo, RejectsTruncated) {
+  std::istringstream in("3 2\n0 1\n");
+  EXPECT_THROW((void)read_edge_list(in), util::CheckError);
+}
+
+TEST(GraphIo, RejectsMissingHeader) {
+  std::istringstream in("# only comments\n");
+  EXPECT_THROW((void)read_edge_list(in), util::CheckError);
+}
+
+TEST(GraphIo, RejectsOutOfRangeEndpoint) {
+  std::istringstream in("2 1\n0 5\n");
+  EXPECT_THROW((void)read_edge_list(in), util::CheckError);
+}
+
+TEST(GraphIo, RejectsSelfLoop) {
+  std::istringstream in("3 1\n1 1\n");
+  EXPECT_THROW((void)read_edge_list(in), util::CheckError);
+}
+
+TEST(GraphIo, RejectsGarbageEdgeLine) {
+  std::istringstream in("3 1\nzero one\n");
+  EXPECT_THROW((void)read_edge_list(in), util::CheckError);
+}
+
+}  // namespace
+}  // namespace decycle::graph

@@ -1,0 +1,133 @@
+#include "graph/packing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/far_generators.hpp"
+#include "graph/generators.hpp"
+#include "graph/subgraph.hpp"
+#include "util/rng.hpp"
+
+namespace decycle::graph {
+namespace {
+
+void expect_edge_disjoint(const Graph& g, const Packing& p, unsigned k) {
+  std::set<EdgeId> used;
+  for (const auto& cyc : p.cycles) {
+    ASSERT_EQ(cyc.size(), k);
+    ASSERT_TRUE(validate_cycle(g, cyc));
+    for (std::size_t i = 0; i < cyc.size(); ++i) {
+      const EdgeId id = g.edge_id(cyc[i], cyc[(i + 1) % cyc.size()]);
+      ASSERT_NE(id, kInvalidEdge);
+      EXPECT_TRUE(used.insert(id).second);
+    }
+  }
+}
+
+TEST(Packing, SingleCycleGraph) {
+  const Graph g = cycle(7);
+  const Packing p = greedy_cycle_packing(g, 7);
+  EXPECT_EQ(p.size(), 1u);
+  EXPECT_EQ(p.edges_remaining, 0u);
+  expect_edge_disjoint(g, p, 7);
+}
+
+TEST(Packing, WrongLengthFindsNothing) {
+  const Graph g = cycle(7);
+  EXPECT_EQ(greedy_cycle_packing(g, 5).size(), 0u);
+  EXPECT_EQ(greedy_cycle_packing(g, 5).edges_remaining, 7u);
+}
+
+TEST(Packing, RecoversAllPlantedCycles) {
+  util::Rng rng(3);
+  PlantedOptions opt;
+  opt.k = 5;
+  opt.num_cycles = 12;
+  opt.padding_leaves = 20;
+  const FarInstance inst = planted_cycles_instance(opt, rng);
+  const Packing p = greedy_cycle_packing(inst.graph, 5);
+  // The planted cycles are the only cycles, and they are vertex-disjoint, so
+  // greedy recovers exactly all of them.
+  EXPECT_EQ(p.size(), 12u);
+  expect_edge_disjoint(inst.graph, p, 5);
+}
+
+TEST(Packing, TrianglesInK4) {
+  // Any two triangles of K4 share two vertices and hence an edge, so the
+  // maximum edge-disjoint packing is a single triangle; greedy finds it and
+  // leaves the 3 remaining edges (a star, triangle-free).
+  const Graph g = complete(4);
+  const Packing p = greedy_cycle_packing(g, 3);
+  EXPECT_EQ(p.size(), 1u);
+  EXPECT_EQ(p.edges_remaining, 3u);
+  expect_edge_disjoint(g, p, 3);
+}
+
+TEST(Packing, TrianglesInK7) {
+  // K7 admits a Steiner-triple decomposition: 21 edges = 7 edge-disjoint
+  // triangles. Greedy is only maximal, so expect at least 21/3 - slack.
+  const Graph g = complete(7);
+  const Packing p = greedy_cycle_packing(g, 3);
+  EXPECT_GE(p.size(), 3u);
+  expect_edge_disjoint(g, p, 3);
+  // Maximality: the residual graph is triangle-free.
+  EdgeMask removed(g.num_edges(), 0);
+  for (const auto& cyc : p.cycles) {
+    for (std::size_t i = 0; i < cyc.size(); ++i) {
+      removed[g.edge_id(cyc[i], cyc[(i + 1) % cyc.size()])] = 1;
+    }
+  }
+  EXPECT_FALSE(find_cycle(g, 3, &removed).has_value());
+}
+
+TEST(Packing, LayeredInstanceMeetsCertificate) {
+  util::Rng rng(4);
+  const FarInstance inst = layered_instance(5, 7, 3, rng);
+  const Packing p = greedy_cycle_packing(inst.graph, 5);
+  // Greedy may find a different family than the planted one, but maximality
+  // plus edge-disjointness bounds: every packed cycle uses 5 edges.
+  EXPECT_GE(p.size(), 1u);
+  EXPECT_LE(p.size() * 5, inst.graph.num_edges());
+  expect_edge_disjoint(inst.graph, p, 5);
+  // Lemma-4-style sanity: the packing certifies farness at least
+  // |packing|/m; the planted certificate says 1/5 is achievable.
+  EXPECT_GT(p.epsilon_lower_bound(inst.graph.num_edges()), 0.0);
+}
+
+TEST(Packing, EpsilonLowerBound) {
+  Packing p;
+  p.cycles.resize(4);
+  EXPECT_DOUBLE_EQ(p.epsilon_lower_bound(100), 0.04);
+  EXPECT_DOUBLE_EQ(Packing{}.epsilon_lower_bound(0), 0.0);
+}
+
+TEST(DeletionUpperBound, ForestNeedsNothing) {
+  util::Rng rng(5);
+  const Graph g = random_tree(50, rng);
+  EXPECT_EQ(greedy_deletion_upper_bound(g, 4), 0u);
+}
+
+TEST(DeletionUpperBound, SandwichesTrueDistanceOnPlanted) {
+  util::Rng rng(6);
+  PlantedOptions opt;
+  opt.k = 4;
+  opt.num_cycles = 6;
+  const FarInstance inst = planted_cycles_instance(opt, rng);
+  const Packing p = greedy_cycle_packing(inst.graph, 4);
+  const std::size_t upper = greedy_deletion_upper_bound(inst.graph, 4);
+  // packing size <= true deletion distance <= greedy deletion count;
+  // on vertex-disjoint planted cycles all three are equal.
+  EXPECT_EQ(p.size(), 6u);
+  EXPECT_EQ(upper, 6u);
+}
+
+TEST(DeletionUpperBound, MakesGraphCkFree) {
+  const Graph g = complete(5);
+  const std::size_t upper = greedy_deletion_upper_bound(g, 3);
+  EXPECT_GE(upper, 2u);   // 10 edges, needs to hit all 10 triangles
+  EXPECT_LE(upper, 10u);
+}
+
+}  // namespace
+}  // namespace decycle::graph

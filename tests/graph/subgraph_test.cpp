@@ -1,0 +1,168 @@
+#include "graph/subgraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace decycle::graph {
+namespace {
+
+TEST(FindCycleThroughEdge, TriangleFound) {
+  const Graph g = complete(3);
+  const auto c = find_cycle_through_edge(g, 3, 0, 1);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->size(), 3u);
+  EXPECT_TRUE(validate_cycle(g, *c));
+  EXPECT_EQ(c->front(), 0u);
+  EXPECT_EQ(c->back(), 1u);
+}
+
+TEST(FindCycleThroughEdge, MissingEdgeReturnsNothing) {
+  const Graph g = path(4);
+  EXPECT_FALSE(find_cycle_through_edge(g, 3, 0, 3).has_value());
+}
+
+TEST(FindCycleThroughEdge, ExactLengthOnly) {
+  // C6: contains C6 through every edge but no C3..C5.
+  const Graph g = cycle(6);
+  EXPECT_TRUE(has_cycle_through_edge(g, 6, 0, 1));
+  EXPECT_FALSE(has_cycle_through_edge(g, 3, 0, 1));
+  EXPECT_FALSE(has_cycle_through_edge(g, 4, 0, 1));
+  EXPECT_FALSE(has_cycle_through_edge(g, 5, 0, 1));
+}
+
+TEST(FindCycleThroughEdge, RespectsEdgeMask) {
+  const Graph g = cycle(5);
+  EdgeMask removed(g.num_edges(), 0);
+  removed[g.edge_id(2, 3)] = 1;
+  EXPECT_FALSE(find_cycle_through_edge(g, 5, 0, 1, &removed).has_value());
+  EXPECT_TRUE(find_cycle_through_edge(g, 5, 0, 1).has_value());
+}
+
+TEST(FindCycleThroughEdge, MaskedQueryEdgeReturnsNothing) {
+  const Graph g = cycle(5);
+  EdgeMask removed(g.num_edges(), 0);
+  removed[g.edge_id(0, 1)] = 1;
+  EXPECT_FALSE(find_cycle_through_edge(g, 5, 0, 1, &removed).has_value());
+}
+
+TEST(FindCycleThroughEdge, KnIsRichInCycles) {
+  const Graph g = complete(7);
+  for (unsigned k = 3; k <= 7; ++k) {
+    const auto c = find_cycle_through_edge(g, k, 0, 1);
+    ASSERT_TRUE(c.has_value()) << "k=" << k;
+    EXPECT_EQ(c->size(), k);
+    EXPECT_TRUE(validate_cycle(g, *c));
+  }
+  EXPECT_FALSE(has_cycle_through_edge(g, 8, 0, 1));  // only 7 vertices
+}
+
+TEST(FindCycle, PetersenLikeSweep) {
+  // Two triangles sharing no edge, connected by a path.
+  GraphBuilder b;
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 0);
+  b.add_edge(2, 3);
+  b.add_edge(3, 4);
+  b.add_edge(4, 5);
+  b.add_edge(5, 3);
+  const Graph g = b.build();
+  EXPECT_TRUE(has_cycle(g, 3));
+  EXPECT_FALSE(has_cycle(g, 4));
+  EXPECT_FALSE(has_cycle(g, 5));
+  EXPECT_FALSE(has_cycle(g, 6));
+}
+
+TEST(CountCycles, KnownCounts) {
+  EXPECT_EQ(count_cycles(complete(4), 3), 4u);
+  EXPECT_EQ(count_cycles(complete(4), 4), 3u);
+  EXPECT_EQ(count_cycles(complete(5), 3), 10u);
+  EXPECT_EQ(count_cycles(complete(5), 4), 15u);
+  EXPECT_EQ(count_cycles(complete(5), 5), 12u);
+  EXPECT_EQ(count_cycles(cycle(9), 9), 1u);
+  EXPECT_EQ(count_cycles(cycle(9), 3), 0u);
+  EXPECT_EQ(count_cycles(path(6), 3), 0u);
+}
+
+TEST(CountCycles, CompleteBipartiteC4) {
+  // C4 count in K_{a,b} = C(a,2)*C(b,2).
+  EXPECT_EQ(count_cycles(complete_bipartite(3, 3), 4), 9u);
+  EXPECT_EQ(count_cycles(complete_bipartite(2, 4), 4), 6u);
+  EXPECT_EQ(count_cycles(complete_bipartite(3, 3), 3), 0u);
+  EXPECT_EQ(count_cycles(complete_bipartite(3, 3), 5), 0u);
+}
+
+TEST(Girth, KnownValues) {
+  EXPECT_EQ(*girth(complete(4)), 3u);
+  EXPECT_EQ(*girth(cycle(11)), 11u);
+  EXPECT_EQ(*girth(complete_bipartite(2, 3)), 4u);
+  EXPECT_EQ(*girth(grid(5, 5)), 4u);
+  EXPECT_FALSE(girth(path(9)).has_value());
+  EXPECT_FALSE(girth(star(5)).has_value());
+}
+
+TEST(Girth, MatchesSmallestDetectableCycle) {
+  util::Rng rng(12);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Graph g = erdos_renyi_gnm(14, 18, rng);
+    const auto gg = girth(g);
+    unsigned smallest = 0;
+    for (unsigned k = 3; k <= 14; ++k) {
+      if (has_cycle(g, k)) {
+        smallest = k;
+        break;
+      }
+    }
+    if (smallest == 0) {
+      EXPECT_FALSE(gg.has_value());
+    } else {
+      ASSERT_TRUE(gg.has_value());
+      EXPECT_EQ(*gg, smallest);
+    }
+  }
+}
+
+TEST(ValidateCycle, AcceptsRealCycle) {
+  const Graph g = cycle(5);
+  const std::vector<Vertex> c{0, 1, 2, 3, 4};
+  EXPECT_TRUE(validate_cycle(g, c));
+  const std::vector<Vertex> rotated{2, 3, 4, 0, 1};
+  EXPECT_TRUE(validate_cycle(g, rotated));
+  const std::vector<Vertex> reversed{4, 3, 2, 1, 0};
+  EXPECT_TRUE(validate_cycle(g, reversed));
+}
+
+TEST(ValidateCycle, RejectsBadWitnesses) {
+  const Graph g = cycle(5);
+  EXPECT_FALSE(validate_cycle(g, std::vector<Vertex>{0, 1}));           // too short
+  EXPECT_FALSE(validate_cycle(g, std::vector<Vertex>{0, 1, 1}));        // repeat
+  EXPECT_FALSE(validate_cycle(g, std::vector<Vertex>{0, 1, 3}));        // missing edge
+  EXPECT_FALSE(validate_cycle(g, std::vector<Vertex>{0, 1, 2, 3}));     // open (3-0 absent)
+}
+
+TEST(FindCycleThroughEdge, AgreesWithCountOnRandomGraphs) {
+  util::Rng rng(99);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = erdos_renyi_gnm(12, 20, rng);
+    for (unsigned k = 3; k <= 6; ++k) {
+      const bool any_by_edges = [&] {
+        for (const auto& [u, v] : g.edges()) {
+          if (has_cycle_through_edge(g, k, u, v)) return true;
+        }
+        return false;
+      }();
+      EXPECT_EQ(any_by_edges, count_cycles(g, k) > 0) << "k=" << k << " trial=" << trial;
+    }
+  }
+}
+
+TEST(FindCycleThroughEdge, RejectsDegenerateK) {
+  const Graph g = complete(4);
+  EXPECT_THROW((void)find_cycle_through_edge(g, 2, 0, 1), util::CheckError);
+}
+
+}  // namespace
+}  // namespace decycle::graph

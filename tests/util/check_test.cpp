@@ -1,0 +1,56 @@
+#include "util/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace decycle::util {
+namespace {
+
+TEST(Check, PassingConditionIsSilent) {
+  EXPECT_NO_THROW(DECYCLE_CHECK(1 + 1 == 2));
+  EXPECT_NO_THROW(DECYCLE_CHECK_MSG(true, "never shown"));
+}
+
+TEST(Check, FailureThrowsCheckError) {
+  EXPECT_THROW(DECYCLE_CHECK(false), CheckError);
+  EXPECT_THROW(DECYCLE_CHECK_MSG(false, "boom"), CheckError);
+}
+
+TEST(Check, MessageContainsExpressionAndLocation) {
+  try {
+    DECYCLE_CHECK(2 < 1);
+    FAIL() << "should have thrown";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("check_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Check, MessageContainsCustomText) {
+  try {
+    DECYCLE_CHECK_MSG(false, "the ranks were not delivered");
+    FAIL() << "should have thrown";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("the ranks were not delivered"), std::string::npos);
+  }
+}
+
+TEST(Check, IsALogicError) {
+  // Callers may catch std::logic_error generically.
+  EXPECT_THROW(DECYCLE_CHECK(false), std::logic_error);
+}
+
+TEST(Check, ConditionEvaluatedOnce) {
+  int calls = 0;
+  const auto count = [&] {
+    ++calls;
+    return true;
+  };
+  DECYCLE_CHECK(count());
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace decycle::util

@@ -1,0 +1,172 @@
+#include "util/small_vector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace decycle::util {
+namespace {
+
+using Vec = SmallVector<std::uint64_t, 4>;
+
+TEST(SmallVector, StartsEmptyInline) {
+  Vec v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_FALSE(v.on_heap());
+  EXPECT_EQ(v.capacity(), 4u);
+}
+
+TEST(SmallVector, PushWithinInlineCapacity) {
+  Vec v;
+  for (std::uint64_t i = 0; i < 4; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_FALSE(v.on_heap());
+  for (std::uint64_t i = 0; i < 4; ++i) EXPECT_EQ(v[i], i);
+}
+
+TEST(SmallVector, SpillsToHeapBeyondInlineCapacity) {
+  Vec v;
+  for (std::uint64_t i = 0; i < 100; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 100u);
+  EXPECT_TRUE(v.on_heap());
+  for (std::uint64_t i = 0; i < 100; ++i) EXPECT_EQ(v[i], i);
+}
+
+TEST(SmallVector, InitializerList) {
+  const Vec v{1, 2, 3};
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 1u);
+  EXPECT_EQ(v[2], 3u);
+}
+
+TEST(SmallVector, CopyPreservesContents) {
+  Vec a{5, 6, 7, 8, 9};  // heap
+  const Vec b = a;       // NOLINT(performance-unnecessary-copy-initialization)
+  EXPECT_EQ(a, b);
+  a.push_back(10);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(b.size(), 5u);
+}
+
+TEST(SmallVector, MoveStealsHeapStorage) {
+  Vec a;
+  for (std::uint64_t i = 0; i < 50; ++i) a.push_back(i);
+  const auto* data_before = a.data();
+  const Vec b = std::move(a);
+  EXPECT_EQ(b.data(), data_before);  // heap buffer moved, not copied
+  EXPECT_EQ(b.size(), 50u);
+  EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move) — documented state
+}
+
+TEST(SmallVector, MoveInlineCopies) {
+  Vec a{1, 2};
+  const Vec b = std::move(a);
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_EQ(b[1], 2u);
+}
+
+TEST(SmallVector, CopyAssignOverwrites) {
+  Vec a{1, 2, 3};
+  Vec b{9};
+  b = a;
+  EXPECT_EQ(b, a);
+}
+
+TEST(SmallVector, MoveAssignHeapToInlineTarget) {
+  Vec a;
+  for (std::uint64_t i = 0; i < 20; ++i) a.push_back(i);
+  Vec b{7};
+  b = std::move(a);
+  EXPECT_EQ(b.size(), 20u);
+  EXPECT_EQ(b[19], 19u);
+}
+
+TEST(SmallVector, SelfAssignmentIsSafe) {
+  Vec a{1, 2, 3};
+  const Vec& alias = a;
+  a = alias;
+  EXPECT_EQ(a.size(), 3u);
+}
+
+TEST(SmallVector, Contains) {
+  const Vec v{10, 20, 30};
+  EXPECT_TRUE(v.contains(20));
+  EXPECT_FALSE(v.contains(25));
+  EXPECT_FALSE(Vec{}.contains(0));
+}
+
+TEST(SmallVector, PopBackAndClear) {
+  Vec v{1, 2, 3};
+  v.pop_back();
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v.back(), 2u);
+  v.clear();
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(SmallVector, ResizeGrowsWithFill) {
+  Vec v{1};
+  v.resize(6, 42);
+  EXPECT_EQ(v.size(), 6u);
+  EXPECT_EQ(v[0], 1u);
+  EXPECT_EQ(v[5], 42u);
+  v.resize(2);
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(SmallVector, LexicographicOrder) {
+  EXPECT_LT(Vec({1, 2}), Vec({1, 3}));
+  EXPECT_LT(Vec({1, 2}), Vec({1, 2, 0}));
+  EXPECT_FALSE(Vec({2}) < Vec({1, 9}));
+}
+
+TEST(SmallVector, EqualityRespectsOrder) {
+  EXPECT_EQ(Vec({1, 2}), Vec({1, 2}));
+  EXPECT_NE(Vec({1, 2}), Vec({2, 1}));
+}
+
+TEST(SmallVector, SpanConversion) {
+  const Vec v{4, 5, 6};
+  const std::span<const std::uint64_t> s = v;
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0], 4u);
+}
+
+TEST(SmallVector, AtThrowsOutOfRange) {
+  Vec v{1};
+  EXPECT_THROW((void)v.at(1), CheckError);
+  EXPECT_EQ(v.at(0), 1u);
+}
+
+TEST(SmallVector, ReserveKeepsContents) {
+  Vec v{1, 2, 3};
+  v.reserve(100);
+  EXPECT_GE(v.capacity(), 100u);
+  EXPECT_EQ(v[2], 3u);
+}
+
+TEST(SmallVector, IterationMatchesIndexing) {
+  Vec v;
+  for (std::uint64_t i = 0; i < 12; ++i) v.push_back(i * i);
+  std::uint64_t idx = 0;
+  for (const std::uint64_t x : v) {
+    EXPECT_EQ(x, idx * idx);
+    ++idx;
+  }
+  EXPECT_EQ(idx, 12u);
+}
+
+TEST(SmallVector, AssignFromIterators) {
+  std::vector<std::uint64_t> src(10);
+  std::iota(src.begin(), src.end(), 100u);
+  Vec v{1, 2, 3};
+  v.assign(src.begin(), src.end());
+  EXPECT_EQ(v.size(), 10u);
+  EXPECT_EQ(v[9], 109u);
+}
+
+}  // namespace
+}  // namespace decycle::util

@@ -1,0 +1,124 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace decycle::util {
+namespace {
+
+TEST(OnlineStats, EmptyDefaults) {
+  const OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, MatchesDirectComputation) {
+  const std::vector<double> xs{1.0, 2.0, 4.0, 8.0, 16.0};
+  OnlineStats s;
+  for (const double x : xs) s.add(x);
+  EXPECT_EQ(s.count(), xs.size());
+  EXPECT_DOUBLE_EQ(s.mean(), 6.2);
+  // Sample variance: sum((x - mean)^2) / (n - 1) = 37.2
+  EXPECT_NEAR(s.variance(), 37.2, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(37.2), 1e-12);
+  EXPECT_EQ(s.min(), 1.0);
+  EXPECT_EQ(s.max(), 16.0);
+  EXPECT_NEAR(s.sum(), 31.0, 1e-12);
+}
+
+TEST(OnlineStats, MergeEqualsSequential) {
+  OnlineStats left, right, all;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i) * 10;
+    all.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(left.min(), all.min());
+  EXPECT_EQ(left.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a;
+  a.add(3.0);
+  OnlineStats b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_EQ(b.mean(), 3.0);
+}
+
+TEST(Percentiles, MedianAndExtremes) {
+  Percentiles p;
+  for (const double x : {5.0, 1.0, 3.0, 2.0, 4.0}) p.add(x);
+  EXPECT_DOUBLE_EQ(p.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(p.median(), 3.0);
+  EXPECT_DOUBLE_EQ(p.quantile(1.0), 5.0);
+}
+
+TEST(Percentiles, Interpolates) {
+  Percentiles p;
+  p.add(0.0);
+  p.add(10.0);
+  EXPECT_DOUBLE_EQ(p.quantile(0.25), 2.5);
+}
+
+TEST(Percentiles, AddAfterQueryResorts) {
+  Percentiles p;
+  p.add(1.0);
+  p.add(3.0);
+  EXPECT_DOUBLE_EQ(p.median(), 2.0);
+  p.add(100.0);
+  EXPECT_DOUBLE_EQ(p.median(), 3.0);
+}
+
+TEST(Wilson, CenteredForBalancedData) {
+  const auto ci = wilson_interval(50, 100);
+  EXPECT_NEAR(ci.estimate, 0.5, 1e-12);
+  EXPECT_LT(ci.low, 0.5);
+  EXPECT_GT(ci.high, 0.5);
+  EXPECT_NEAR(ci.low, 0.404, 0.01);
+  EXPECT_NEAR(ci.high, 0.596, 0.01);
+}
+
+TEST(Wilson, BoundaryZeroAndOne) {
+  const auto zero = wilson_interval(0, 50);
+  EXPECT_EQ(zero.estimate, 0.0);
+  EXPECT_EQ(zero.low, 0.0);
+  EXPECT_GT(zero.high, 0.0);
+
+  const auto one = wilson_interval(50, 50);
+  EXPECT_EQ(one.estimate, 1.0);
+  EXPECT_LT(one.low, 1.0);
+  EXPECT_EQ(one.high, 1.0);
+}
+
+TEST(Wilson, ShrinksWithMoreTrials) {
+  const auto small = wilson_interval(8, 10);
+  const auto large = wilson_interval(800, 1000);
+  EXPECT_LT(large.high - large.low, small.high - small.low);
+}
+
+TEST(Wilson, NoTrials) {
+  const auto ci = wilson_interval(0, 0);
+  EXPECT_EQ(ci.low, 0.0);
+  EXPECT_EQ(ci.high, 1.0);
+}
+
+TEST(BinomialCoefficient, KnownValues) {
+  EXPECT_DOUBLE_EQ(binomial_coefficient(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_coefficient(5, 2), 10.0);
+  EXPECT_DOUBLE_EQ(binomial_coefficient(10, 5), 252.0);
+  EXPECT_DOUBLE_EQ(binomial_coefficient(4, 7), 0.0);
+  EXPECT_NEAR(binomial_coefficient(50, 25), 1.2641060643775e14, 1e3);
+}
+
+}  // namespace
+}  // namespace decycle::util

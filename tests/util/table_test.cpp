@@ -1,0 +1,79 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace decycle::util {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"k", "rate"});
+  t.row().cell(std::uint64_t{3}).cell(0.5, 2);
+  t.row().cell(std::uint64_t{10}).cell(1.0, 2);
+  std::ostringstream out;
+  t.print(out, "demo");
+  const std::string text = out.str();
+  EXPECT_NE(text.find("== demo =="), std::string::npos);
+  EXPECT_NE(text.find("| k  | rate |"), std::string::npos);
+  EXPECT_NE(text.find("| 3  | 0.50 |"), std::string::npos);
+  EXPECT_NE(text.find("| 10 | 1.00 |"), std::string::npos);
+}
+
+TEST(Table, HeaderRuleMatchesWidths) {
+  Table t({"ab"});
+  t.row().cell("xyzw");
+  std::ostringstream out;
+  t.print(out);
+  EXPECT_NE(out.str().find("|------|"), std::string::npos);
+}
+
+TEST(Table, PassFailCells) {
+  Table t({"claim", "ok"});
+  t.row().cell("a").cell_ok(true);
+  t.row().cell("b").cell_ok(false);
+  std::ostringstream out;
+  t.print(out);
+  EXPECT_NE(out.str().find("PASS"), std::string::npos);
+  EXPECT_NE(out.str().find("FAIL"), std::string::npos);
+}
+
+TEST(Table, RejectsTooManyCells) {
+  Table t({"only"});
+  t.row().cell("x");
+  EXPECT_THROW(t.cell("overflow"), CheckError);
+}
+
+TEST(Table, RejectsRowUnderflowOnNextRow) {
+  Table t({"a", "b"});
+  t.row().cell("1");
+  EXPECT_THROW(t.row(), CheckError);
+}
+
+TEST(Table, CellBeforeRowThrows) {
+  Table t({"a"});
+  EXPECT_THROW(t.cell("x"), CheckError);
+}
+
+TEST(Table, EmptyHeaderRejected) {
+  EXPECT_THROW(Table(std::vector<std::string>{}), CheckError);
+}
+
+TEST(Table, NumRows) {
+  Table t({"a"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.row().cell("1");
+  t.row().cell("2");
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(FormatDouble, Precision) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(1.0, 0), "1");
+  EXPECT_EQ(format_double(-0.5, 3), "-0.500");
+}
+
+}  // namespace
+}  // namespace decycle::util
