@@ -2,15 +2,6 @@
 
 namespace decycle::congest {
 
-MessageWriter& MessageWriter::put_u64(std::uint64_t value) {
-  while (value >= 0x80) {
-    bytes_.push_back(static_cast<std::uint8_t>(value | 0x80));
-    value >>= 7;
-  }
-  bytes_.push_back(static_cast<std::uint8_t>(value));
-  return *this;
-}
-
 std::uint64_t MessageReader::get_u64() {
   std::uint64_t value = 0;
   unsigned shift = 0;

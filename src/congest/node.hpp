@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "congest/message.hpp"
 #include "graph/graph.hpp"
@@ -28,9 +29,14 @@ using graph::Vertex;
 /// A message as seen by the receiver. \p port is the receiver's port number
 /// for the sending neighbor (dense 0..deg-1, sorted by neighbor vertex).
 struct Envelope {
-  std::uint32_t port;
+  std::uint32_t port = 0;
   Message payload;
 };
+
+/// The simulator's per-run machinery (delivery arenas, timer wheel, step
+/// contexts); defined in simulator.cpp. Declared here so it can drive the
+/// Context internals below.
+struct SimRuntime;
 
 /// The per-round view a node has of itself and its links. Constructed by the
 /// simulator; programs only ever see references.
@@ -39,11 +45,9 @@ class Context {
   [[nodiscard]] std::uint64_t round() const noexcept { return round_; }
   [[nodiscard]] Vertex vertex() const noexcept { return vertex_; }
   [[nodiscard]] NodeId my_id() const noexcept { return ids_->id_of(vertex_); }
-  [[nodiscard]] std::size_t degree() const noexcept { return graph_->degree(vertex_); }
+  [[nodiscard]] std::size_t degree() const noexcept { return nbrs_.size(); }
 
-  [[nodiscard]] NodeId neighbor_id(std::uint32_t port) const {
-    return ids_->id_of(graph_->neighbors(vertex_)[port]);
-  }
+  [[nodiscard]] NodeId neighbor_id(std::uint32_t port) const { return ids_->id_of(nbrs_[port]); }
 
   /// Queues \p msg on \p port. At most one send per port per round
   /// (CONGEST); violations throw.
@@ -56,32 +60,64 @@ class Context {
   /// (used for repetition boundaries). Must be in the future.
   void request_wakeup_at(std::uint64_t round);
 
-  /// A queued send (exposed for the simulator's merge phase).
-  struct Outgoing {
-    std::uint32_t port;
-    Message payload;
+  /// A queued send as the simulator's delivery merge sees it, minus its
+  /// payload: metadata and message bytes live in parallel arrays so the
+  /// counting pass streams over lean fixed-size records without pulling
+  /// payload cache lines. The receiver vertex and its port for the sender
+  /// are resolved at enqueue time from the simulator's precomputed
+  /// reverse-port table (O(1)), so the merge never searches adjacency
+  /// lists. \p dropped is set by the delivery pass when the fault adversary
+  /// removes the message.
+  struct OutMeta {
+    std::uint64_t bits = 0;  ///< payload bit size (stats without payload access)
+    Vertex from = 0;
+    Vertex dest = 0;
+    std::uint32_t rport = 0;  ///< receiver's port for \p from
+    std::uint8_t dropped = 0;
   };
+
+  /// Sentinel for "no wake-up scheduled"; shared with the simulator so the
+  /// two sides can never drift apart.
+  static constexpr std::uint64_t kNoWakeup = ~std::uint64_t{0};
 
  private:
   friend class Simulator;
-  Context(const graph::Graph& g, const graph::IdAssignment& ids) : graph_(&g), ids_(&ids) {}
+  friend struct SimRuntime;
+
+  /// \p rev_ports may be null (legacy delivery resolves receiver ports by
+  /// binary search instead). Send-slot stamps are sized to the graph's
+  /// maximum degree.
+  Context(const graph::Graph& g, const graph::IdAssignment& ids, const std::uint32_t* rev_ports)
+      : graph_(&g), ids_(&ids), rev_ports_(rev_ports) {
+    port_stamp_.resize(g.max_degree(), 0);
+  }
 
   const graph::Graph* graph_;
   const graph::IdAssignment* ids_;
+  const std::uint32_t* rev_ports_;  ///< CSR-aligned reverse ports, or null
+  std::vector<OutMeta>* out_meta_ = nullptr;     ///< chunk outbox (owned by the simulator)
+  std::vector<Message>* out_payload_ = nullptr;  ///< payloads, in lockstep with out_meta_
+  std::span<const Vertex> nbrs_;
+  std::size_t adj_base_ = 0;  ///< offset of vertex_'s adjacency in the CSR
   Vertex vertex_ = 0;
   std::uint64_t round_ = 0;
-  std::vector<Outgoing> outbox_;
-  std::vector<char> port_used_;
   std::uint64_t wakeup_ = kNoWakeup;
 
-  static constexpr std::uint64_t kNoWakeup = ~std::uint64_t{0};
+  /// One-message-per-link enforcement without an O(degree) clear per step:
+  /// a port is used this step iff its stamp equals the current step serial.
+  std::vector<std::uint64_t> port_stamp_;
+  std::uint64_t step_serial_ = 0;
 
-  void reset(Vertex v, std::uint64_t round) {
+  void reset(Vertex v, std::uint64_t round, std::size_t adj_base, std::vector<OutMeta>* meta,
+             std::vector<Message>* payload) {
     vertex_ = v;
     round_ = round;
-    outbox_.clear();
-    port_used_.assign(graph_->degree(v), 0);
+    adj_base_ = adj_base;
+    out_meta_ = meta;
+    out_payload_ = payload;
+    nbrs_ = graph_->neighbors(v);
     wakeup_ = kNoWakeup;
+    ++step_serial_;
   }
 };
 
@@ -100,9 +136,13 @@ class NodeProgram {
 
 inline void Context::send(std::uint32_t port, Message msg) {
   DECYCLE_CHECK_MSG(port < degree(), "send: port out of range");
-  DECYCLE_CHECK_MSG(!port_used_[port], "CONGEST violation: two messages on one link in a round");
-  port_used_[port] = 1;
-  outbox_.push_back({port, std::move(msg)});
+  DECYCLE_CHECK_MSG(port_stamp_[port] != step_serial_,
+                    "CONGEST violation: two messages on one link in a round");
+  port_stamp_[port] = step_serial_;
+  const std::uint32_t rport =
+      rev_ports_ != nullptr ? rev_ports_[adj_base_ + port] : ~std::uint32_t{0};
+  out_meta_->push_back(OutMeta{msg.bit_size(), vertex_, nbrs_[port], rport, 0});
+  out_payload_->push_back(std::move(msg));
 }
 
 inline void Context::send_all(const Message& msg) {

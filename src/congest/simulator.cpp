@@ -1,32 +1,21 @@
 #include "congest/simulator.hpp"
 
 #include <algorithm>
+#include <array>
 #include <map>
+#include <numeric>
 
 #include "util/check.hpp"
 
 namespace decycle::congest {
 
-Simulator::Simulator(const graph::Graph& g, const graph::IdAssignment& ids,
-                     const ProgramFactory& factory)
-    : graph_(&g), ids_(&ids) {
-  DECYCLE_CHECK_MSG(ids.num_vertices() == g.num_vertices(),
-                    "ID assignment size does not match graph");
-  programs_.reserve(g.num_vertices());
-  for (Vertex v = 0; v < g.num_vertices(); ++v) {
-    programs_.push_back(factory(v));
-    DECYCLE_CHECK_MSG(programs_.back() != nullptr, "program factory returned null");
-  }
-}
-
 namespace {
 
-struct StepResult {
-  std::vector<Context::Outgoing> outgoing;
-  std::uint64_t wakeup = ~std::uint64_t{0};
-};
+constexpr std::uint64_t kNoWakeup = Context::kNoWakeup;
+constexpr std::uint64_t kNeverStamp = ~std::uint64_t{0};
 
-/// Receiver's port for neighbor \p from (adjacency is sorted).
+/// Receiver's port for neighbor \p from (adjacency is sorted). Legacy-path
+/// lookup; the arena path uses the precomputed reverse-port table instead.
 std::uint32_t port_of(const graph::Graph& g, Vertex receiver, Vertex from) {
   const auto nb = g.neighbors(receiver);
   const auto it = std::lower_bound(nb.begin(), nb.end(), from);
@@ -36,19 +25,393 @@ std::uint32_t port_of(const graph::Graph& g, Vertex receiver, Vertex from) {
 
 }  // namespace
 
-RunStats Simulator::run(const Options& options) {
-  const Vertex n = graph_->num_vertices();
-  std::vector<std::vector<Envelope>> inbox(n);
-  std::map<std::uint64_t, std::vector<Vertex>> wakeups;
+/// Per-run machinery for the arena delivery path. All buffers are sized
+/// once (at first run, or lazily on first use for pool-dependent state) and
+/// reused across rounds and runs, so a steady-state round performs no heap
+/// allocation. See DESIGN.md §4 for the architecture.
+struct SimRuntime {
+  static constexpr std::size_t kWheelSize = 64;
+  /// Upper bound on step chunks / delivery shards; bounds the number of
+  /// persistent per-chunk buffers regardless of pool size.
+  static constexpr std::size_t kMaxChunks = 32;
 
-  std::vector<Vertex> active(n);
-  for (Vertex v = 0; v < n; ++v) active[v] = v;
+  /// One persistent step-execution lane: a reusable Context plus the outbox
+  /// all nodes stepped by this lane append to (metadata and payloads in
+  /// lockstep parallel arrays).
+  struct ChunkState {
+    Context ctx;
+    std::vector<Context::OutMeta> meta;
+    std::vector<Message> payload;
+
+    ChunkState(const graph::Graph& g, const graph::IdAssignment& ids,
+               const std::uint32_t* rev_ports)
+        : ctx(g, ids, rev_ports) {}
+  };
+
+  /// Per-shard delivery accumulator; reduced into RoundStats in fixed shard
+  /// order so statistics are bit-identical for any thread count.
+  struct ShardAcc {
+    std::vector<Vertex> receivers;  ///< first-message receivers, sorted at pass end
+    std::uint64_t bits = 0;
+    std::uint64_t max_link_bits = 0;
+    std::size_t messages = 0;
+    std::size_t dropped = 0;
+  };
+
+  // Double-buffered flat envelope arena: round r's inboxes live in
+  // arena[r & 1] as contiguous per-receiver segments, already sorted by
+  // receiver port (counting placement in ascending sender order). Each
+  // buffer grows lazily to the traffic high-water mark (bounded by the 2m
+  // directed links), so sparse event-driven runs never pay for dense-case
+  // capacity.
+  std::array<std::vector<Envelope>, 2> arena;
+  std::vector<std::uint64_t> inbox_stamp;  ///< round whose step may read offset/count
+  std::vector<std::uint32_t> count;        ///< per-receiver envelope count
+  std::vector<std::uint32_t> fill;         ///< pass-B placement cursor
+  std::vector<std::size_t> offset;         ///< per-receiver arena segment start
+
+  std::vector<Vertex> active;
+  std::vector<Vertex> next_active;
+  std::vector<Vertex> merge_buf;
+  std::vector<Vertex> wake_scratch;
+  std::vector<std::uint64_t> wakeup_rounds;  ///< per active index, from the step phase
+
+  std::vector<std::unique_ptr<ChunkState>> chunks;
+  std::vector<ShardAcc> shards;
+
+  // Bucketed timer wheel for near wake-ups (< kWheelSize rounds ahead) with
+  // a min-heap for far ones. At drain time every entry in a bucket targets
+  // exactly the current round (targets within the horizon occupy distinct
+  // buckets); entries carry their round so that invariant is checked.
+  std::array<std::vector<std::pair<std::uint64_t, Vertex>>, kWheelSize> wheel;
+  std::vector<std::pair<std::uint64_t, Vertex>> far_heap;
+  std::size_t pending_wakeups = 0;
+
+  void size_for(Vertex n) {
+    inbox_stamp.resize(n);
+    count.resize(n);
+    fill.resize(n);
+    offset.resize(n);
+    active.reserve(n);
+    next_active.reserve(n);
+    merge_buf.reserve(n);
+    wake_scratch.reserve(n);
+    wakeup_rounds.reserve(n);
+  }
+
+  void begin_run(Vertex n) {
+    std::fill(inbox_stamp.begin(), inbox_stamp.end(), kNeverStamp);
+    for (auto& bucket : wheel) bucket.clear();
+    far_heap.clear();
+    pending_wakeups = 0;
+    active.resize(n);
+    std::iota(active.begin(), active.end(), Vertex{0});
+    next_active.clear();
+  }
+
+  void schedule_wakeup(Vertex v, std::uint64_t target, std::uint64_t now) {
+    if (target - now < kWheelSize) {
+      wheel[target % kWheelSize].emplace_back(target, v);
+    } else {
+      far_heap.emplace_back(target, v);
+      std::push_heap(far_heap.begin(), far_heap.end(), std::greater<>{});
+    }
+    ++pending_wakeups;
+  }
+
+  /// Moves every wake-up scheduled for \p round into wake_scratch
+  /// (unsorted, possibly with duplicates).
+  void drain_due_wakeups(std::uint64_t round) {
+    wake_scratch.clear();
+    auto& bucket = wheel[round % kWheelSize];
+    for (const auto& [target, v] : bucket) {
+      DECYCLE_CHECK_MSG(target == round, "timer wheel bucket holds a foreign round");
+      wake_scratch.push_back(v);
+    }
+    pending_wakeups -= bucket.size();
+    bucket.clear();
+    while (!far_heap.empty() && far_heap.front().first == round) {
+      wake_scratch.push_back(far_heap.front().second);
+      std::pop_heap(far_heap.begin(), far_heap.end(), std::greater<>{});
+      far_heap.pop_back();
+      --pending_wakeups;
+    }
+  }
+
+  /// Earliest round with a pending wake-up strictly after \p round.
+  /// Requires pending_wakeups > 0. O(kWheelSize) — only used on the rare
+  /// fast-forward over fully idle rounds.
+  [[nodiscard]] std::uint64_t min_pending_round() const {
+    std::uint64_t best = far_heap.empty() ? kNoWakeup : far_heap.front().first;
+    for (const auto& bucket : wheel) {
+      if (!bucket.empty()) best = std::min(best, bucket.front().first);
+    }
+    DECYCLE_CHECK_MSG(best != kNoWakeup, "no pending wakeup to fast-forward to");
+    return best;
+  }
+
+  ChunkState& chunk(std::size_t i, const graph::Graph& g, const graph::IdAssignment& ids,
+                    const std::uint32_t* rev_ports) {
+    while (chunks.size() <= i) {
+      chunks.push_back(std::make_unique<ChunkState>(g, ids, rev_ports));
+    }
+    return *chunks[i];
+  }
+};
+
+Simulator::Simulator(const graph::Graph& g, const graph::IdAssignment& ids,
+                     const ProgramFactory& factory)
+    : graph_(&g), ids_(&ids) {
+  DECYCLE_CHECK_MSG(ids.num_vertices() == g.num_vertices(),
+                    "ID assignment size does not match graph");
+  const Vertex n = g.num_vertices();
+  programs_.reserve(n);
+  for (Vertex v = 0; v < n; ++v) {
+    programs_.push_back(factory(v));
+    DECYCLE_CHECK_MSG(programs_.back() != nullptr, "program factory returned null");
+  }
+
+  // CSR reverse-port table: visiting senders u in ascending order visits
+  // each receiver v's neighbors in ascending order too, so a running cursor
+  // per receiver yields u's rank in v's sorted adjacency — no searches.
+  adj_offsets_.resize(n + std::size_t{1});
+  adj_offsets_[0] = 0;
+  for (Vertex v = 0; v < n; ++v) adj_offsets_[v + 1] = adj_offsets_[v] + g.degree(v);
+  rev_ports_.resize(adj_offsets_[n]);
+  std::vector<std::uint32_t> cursor(n, 0);
+  for (Vertex u = 0; u < n; ++u) {
+    const auto nb = g.neighbors(u);
+    for (std::size_t p = 0; p < nb.size(); ++p) {
+      rev_ports_[adj_offsets_[u] + p] = cursor[nb[p]]++;
+    }
+  }
+}
+
+Simulator::~Simulator() = default;
+
+RunStats Simulator::run(const Options& options) {
+  return options.delivery == DeliveryMode::kArena ? run_arena(options) : run_legacy(options);
+}
+
+RunStats Simulator::run_arena(const Options& options) {
+  const Vertex n = graph_->num_vertices();
+  if (runtime_ == nullptr) {
+    runtime_ = std::make_unique<SimRuntime>();
+    runtime_->size_for(n);
+  }
+  SimRuntime& rt = *runtime_;
+  rt.begin_run(n);
 
   RunStats stats;
   std::uint64_t round = 0;
 
   while (round <= options.max_rounds) {
-    // Fold scheduled wake-ups for this round into the active set.
+    // --- Fold wake-ups due this round into the (sorted, unique) active set.
+    rt.drain_due_wakeups(round);
+    if (!rt.wake_scratch.empty()) {
+      std::sort(rt.wake_scratch.begin(), rt.wake_scratch.end());
+      rt.wake_scratch.erase(std::unique(rt.wake_scratch.begin(), rt.wake_scratch.end()),
+                            rt.wake_scratch.end());
+      rt.merge_buf.clear();
+      std::set_union(rt.active.begin(), rt.active.end(), rt.wake_scratch.begin(),
+                     rt.wake_scratch.end(), std::back_inserter(rt.merge_buf));
+      rt.active.swap(rt.merge_buf);
+    }
+
+    if (rt.active.empty()) {
+      if (rt.pending_wakeups == 0) {
+        stats.halted = true;
+        break;
+      }
+      round = rt.min_pending_round();  // fast-forward over idle rounds
+      continue;
+    }
+
+    // --- Step all active nodes (parallel when worthwhile). Chunks write to
+    // persistent per-chunk outboxes; iterating chunks in index order later
+    // recovers the global ascending-sender order, whatever the chunking.
+    const std::size_t num_active = rt.active.size();
+    std::size_t num_chunks = 1;
+    if (options.pool != nullptr && num_active >= options.parallel_threshold) {
+      num_chunks = std::min({SimRuntime::kMaxChunks, 2 * options.pool->size(), num_active});
+    }
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+      rt.chunk(c, *graph_, *ids_, rev_ports_.data());
+    }
+    const std::size_t chunk_len = (num_active + num_chunks - 1) / num_chunks;
+    rt.wakeup_rounds.resize(num_active);
+
+    const std::vector<Envelope>& in_arena = rt.arena[round & 1];
+    const auto step_chunk = [&](std::size_t c) {
+      SimRuntime::ChunkState& cs = *rt.chunks[c];
+      cs.meta.clear();
+      cs.payload.clear();
+      const std::size_t begin = c * chunk_len;
+      const std::size_t end = std::min(num_active, begin + chunk_len);
+      for (std::size_t i = begin; i < end; ++i) {
+        const Vertex v = rt.active[i];
+        std::span<const Envelope> inbox;
+        if (rt.inbox_stamp[v] == round) {
+          inbox = {in_arena.data() + rt.offset[v], rt.count[v]};
+        }
+        cs.ctx.reset(v, round, adj_offsets_[v], &cs.meta, &cs.payload);
+        programs_[v]->on_round(cs.ctx, inbox);
+        rt.wakeup_rounds[i] = cs.ctx.wakeup_;
+      }
+    };
+    if (num_chunks > 1) {
+      options.pool->for_indexed(num_chunks, step_chunk);
+    } else {
+      step_chunk(0);
+    }
+
+    // --- Wake-up scheduling (serial; ascending sender order).
+    for (std::size_t i = 0; i < num_active; ++i) {
+      if (rt.wakeup_rounds[i] != kNoWakeup) {
+        rt.schedule_wakeup(rt.active[i], rt.wakeup_rounds[i], round);
+      }
+    }
+
+    // --- Delivery, sharded by receiver range. Pass A counts envelopes per
+    // receiver (and applies the drop adversary, marking entries); a serial
+    // prefix pass assigns arena segments; pass B places envelopes by
+    // counting placement. Ascending sender order within each receiver's
+    // segment yields ascending receiver ports, so inboxes are born sorted.
+    std::size_t total_out = 0;
+    for (std::size_t c = 0; c < num_chunks; ++c) total_out += rt.chunks[c]->meta.size();
+
+    std::size_t num_shards = 1;
+    if (options.pool != nullptr && total_out >= options.parallel_threshold) {
+      num_shards = std::min(SimRuntime::kMaxChunks, options.pool->size() + 1);
+    }
+    while (rt.shards.size() < num_shards) rt.shards.emplace_back();
+
+    const std::uint64_t next_stamp = round + 1;
+    const auto pass_a = [&](std::size_t s) {
+      SimRuntime::ShardAcc& acc = rt.shards[s];
+      acc.receivers.clear();
+      acc.bits = 0;
+      acc.max_link_bits = 0;
+      acc.messages = 0;
+      acc.dropped = 0;
+      const Vertex lo = static_cast<Vertex>(std::uint64_t{n} * s / num_shards);
+      const Vertex hi = static_cast<Vertex>(std::uint64_t{n} * (s + 1) / num_shards);
+      for (std::size_t c = 0; c < num_chunks; ++c) {
+        for (Context::OutMeta& e : rt.chunks[c]->meta) {
+          if (e.dest < lo || e.dest >= hi) continue;
+          acc.messages += 1;
+          acc.bits += e.bits;
+          acc.max_link_bits = std::max(acc.max_link_bits, e.bits);
+          // The message was *sent* either way (it occupies the link and
+          // counts towards the stats); the adversary removes it before
+          // delivery.
+          if (options.drop && options.drop(round, e.from, e.dest)) {
+            e.dropped = 1;
+            acc.dropped += 1;
+            continue;
+          }
+          if (rt.inbox_stamp[e.dest] != next_stamp) {
+            rt.inbox_stamp[e.dest] = next_stamp;
+            rt.count[e.dest] = 0;
+            acc.receivers.push_back(e.dest);
+          }
+          rt.count[e.dest] += 1;
+        }
+      }
+      std::sort(acc.receivers.begin(), acc.receivers.end());
+    };
+    if (num_shards > 1) {
+      options.pool->for_indexed(num_shards, pass_a);
+    } else {
+      pass_a(0);
+    }
+
+    // Serial reduction in fixed shard order: receiver segments, stats.
+    RoundStats rs;
+    rs.round = round;
+    rs.active_nodes = num_active;
+    rt.next_active.clear();
+    std::size_t cum = 0;
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      const SimRuntime::ShardAcc& acc = rt.shards[s];
+      for (const Vertex v : acc.receivers) {
+        rt.offset[v] = cum;
+        rt.fill[v] = 0;
+        cum += rt.count[v];
+        rt.next_active.push_back(v);  // shard ranges ascend, so this stays sorted
+      }
+      rs.messages += acc.messages;
+      rs.bits += acc.bits;
+      rs.max_link_bits = std::max(rs.max_link_bits, acc.max_link_bits);
+      stats.dropped_messages += acc.dropped;
+    }
+
+    std::vector<Envelope>& out_arena = rt.arena[next_stamp & 1];
+    if (out_arena.size() < cum) out_arena.resize(std::max(cum, 2 * out_arena.size()));
+    const auto pass_b = [&](std::size_t s) {
+      const Vertex lo = static_cast<Vertex>(std::uint64_t{n} * s / num_shards);
+      const Vertex hi = static_cast<Vertex>(std::uint64_t{n} * (s + 1) / num_shards);
+      for (std::size_t c = 0; c < num_chunks; ++c) {
+        SimRuntime::ChunkState& cs = *rt.chunks[c];
+        for (std::size_t j = 0; j < cs.meta.size(); ++j) {
+          const Context::OutMeta& e = cs.meta[j];
+          if (e.dest < lo || e.dest >= hi || e.dropped != 0) continue;
+          Envelope& slot = out_arena[rt.offset[e.dest] + rt.fill[e.dest]++];
+          slot.port = e.rport;
+          slot.payload = std::move(cs.payload[j]);
+        }
+      }
+    };
+    if (num_shards > 1) {
+      options.pool->for_indexed(num_shards, pass_b);
+    } else {
+      pass_b(0);
+    }
+
+    stats.rounds_executed += 1;
+    stats.total_messages += rs.messages;
+    stats.total_bits += rs.bits;
+    stats.max_link_bits = std::max(stats.max_link_bits, rs.max_link_bits);
+    stats.max_active_nodes = std::max(stats.max_active_nodes, rs.active_nodes);
+    if (options.record_rounds) stats.per_round.push_back(rs);
+
+    rt.active.swap(rt.next_active);
+    ++round;
+  }
+
+  return stats;
+}
+
+// ---------------------------------------------------------------------------
+// Legacy delivery: the straightforward loop this simulator shipped with —
+// per-receiver vector inboxes (sorted after the fact), binary-search port
+// lookup per message, std::map wake-up schedule, fresh containers every
+// round. Kept as a semantics oracle for the arena path and as the baseline
+// bench/m2_simulator_micro measures against.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct LegacyStepResult {
+  std::vector<Context::OutMeta> meta;
+  std::vector<Message> payload;
+  std::uint64_t wakeup = kNoWakeup;
+};
+
+}  // namespace
+
+RunStats Simulator::run_legacy(const Options& options) {
+  const Vertex n = graph_->num_vertices();
+  std::vector<std::vector<Envelope>> inbox(n);
+  std::map<std::uint64_t, std::vector<Vertex>> wakeups;
+
+  std::vector<Vertex> active(n);
+  std::iota(active.begin(), active.end(), Vertex{0});
+
+  RunStats stats;
+  std::uint64_t round = 0;
+
+  while (round <= options.max_rounds) {
     if (const auto it = wakeups.find(round); it != wakeups.end()) {
       active.insert(active.end(), it->second.begin(), it->second.end());
       std::sort(active.begin(), active.end());
@@ -65,15 +428,13 @@ RunStats Simulator::run(const Options& options) {
       continue;
     }
 
-    // --- Step all active nodes (parallel when worthwhile). ---
-    std::vector<StepResult> results(active.size());
+    std::vector<LegacyStepResult> results(active.size());
     const auto step_range = [&](std::size_t begin, std::size_t end) {
-      Context ctx(*graph_, *ids_);
+      Context ctx(*graph_, *ids_, nullptr);
       for (std::size_t i = begin; i < end; ++i) {
         const Vertex v = active[i];
-        ctx.reset(v, round);
+        ctx.reset(v, round, adj_offsets_[v], &results[i].meta, &results[i].payload);
         programs_[v]->on_round(ctx, inbox[v]);
-        results[i].outgoing = std::move(ctx.outbox_);
         results[i].wakeup = ctx.wakeup_;
       }
     };
@@ -87,30 +448,27 @@ RunStats Simulator::run(const Options& options) {
     // may both read mail this round and receive fresh mail for the next one.
     for (const Vertex v : active) inbox[v].clear();
 
-    // --- Deterministic merge: senders in ascending vertex order, so each
-    // receiver's inbox arrives sorted by its port numbering. ---
     RoundStats rs;
     rs.round = round;
     rs.active_nodes = active.size();
     std::vector<Vertex> next_active;
     for (std::size_t i = 0; i < active.size(); ++i) {
       const Vertex from = active[i];
-      for (auto& out : results[i].outgoing) {
-        const Vertex dest = graph_->neighbors(from)[out.port];
-        // The message was *sent* either way (it occupies the link and counts
-        // towards the stats); the adversary removes it before delivery.
+      for (std::size_t j = 0; j < results[i].meta.size(); ++j) {
+        const Context::OutMeta& out = results[i].meta[j];
+        const Vertex dest = out.dest;
         rs.messages += 1;
-        rs.bits += out.payload.bit_size();
-        rs.max_link_bits = std::max(rs.max_link_bits, out.payload.bit_size());
+        rs.bits += out.bits;
+        rs.max_link_bits = std::max(rs.max_link_bits, out.bits);
         if (options.drop && options.drop(round, from, dest)) {
           stats.dropped_messages += 1;
           continue;
         }
         const std::uint32_t rport = port_of(*graph_, dest, from);
         if (inbox[dest].empty()) next_active.push_back(dest);
-        inbox[dest].push_back(Envelope{rport, std::move(out.payload)});
+        inbox[dest].push_back(Envelope{rport, std::move(results[i].payload[j])});
       }
-      if (results[i].wakeup != ~std::uint64_t{0}) {
+      if (results[i].wakeup != kNoWakeup) {
         wakeups[results[i].wakeup].push_back(from);
       }
     }

@@ -9,9 +9,18 @@
 /// scheduled wake-up are stepped, so quiet regions of a large network cost
 /// nothing.
 ///
-/// Determinism: node stepping may be spread across a thread pool, but
-/// delivery order is canonicalized (inboxes sorted by receiver port), so a
-/// run's outcome and statistics are bit-identical for any thread count —
+/// Message path (DESIGN.md §4): receiver ports come from a CSR reverse-port
+/// table precomputed at construction (O(1) per message); inboxes live in a
+/// double-buffered flat envelope arena filled by counting placement (never
+/// sorted — ascending sender order already yields ascending receiver ports);
+/// the delivery merge is sharded by receiver range across the thread pool
+/// with per-shard statistics reduced in fixed order; wake-ups sit in a
+/// bucketed timer wheel with a min-heap overflow for far targets. A
+/// steady-state round performs no heap allocation.
+///
+/// Determinism: node stepping and delivery may be spread across a thread
+/// pool, but every inbox, every statistic, and the full round schedule are
+/// bit-identical for any thread count and either delivery mode —
 /// property-tested in tests/congest/simulator_test.cpp.
 #pragma once
 
@@ -27,6 +36,13 @@
 
 namespace decycle::congest {
 
+/// Which delivery implementation a run uses. kArena is the production path
+/// described above; kLegacy is the straightforward per-receiver-vector loop
+/// (binary-search port lookup, per-inbox sort, allocating containers) kept
+/// as a semantics oracle and as the baseline that bench/m2_simulator_micro
+/// measures speedups against.
+enum class DeliveryMode : std::uint8_t { kArena, kLegacy };
+
 class Simulator {
  public:
   /// \p factory builds the program for each vertex (same code everywhere,
@@ -37,18 +53,23 @@ class Simulator {
   /// Fault-injection hook: return true to silently drop the message sent at
   /// \p round from \p from to \p to. Used by the fault experiments — the
   /// tester must stay 1-sided under arbitrary message loss (a dropped
-  /// message can only lose detections, never fabricate a cycle).
+  /// message can only lose detections, never fabricate a cycle). The filter
+  /// is invoked exactly once per message, possibly concurrently from
+  /// delivery shards, so it must be thread-safe; determinism of the run
+  /// requires it to be a pure function of its arguments.
   using DropFilter = std::function<bool(std::uint64_t round, Vertex from, Vertex to)>;
 
   struct Options {
     std::uint64_t max_rounds = 1'000'000;  ///< safety cap
     bool record_rounds = false;            ///< keep per-round stats (for T3/T5)
-    util::ThreadPool* pool = nullptr;      ///< optional parallel node stepping
-    std::size_t parallel_threshold = 256;  ///< min active nodes to go parallel
+    util::ThreadPool* pool = nullptr;      ///< optional parallel stepping/delivery
+    std::size_t parallel_threshold = 256;  ///< min active nodes / messages to go parallel
     DropFilter drop;                       ///< optional message-loss adversary
+    DeliveryMode delivery = DeliveryMode::kArena;
   };
 
   Simulator(const graph::Graph& g, const graph::IdAssignment& ids, const ProgramFactory& factory);
+  ~Simulator();
 
   /// Runs until the network quiesces (no mail in flight, no wake-ups) or the
   /// round cap is hit.
@@ -71,9 +92,23 @@ class Simulator {
   }
 
  private:
+  RunStats run_arena(const Options& options);
+  RunStats run_legacy(const Options& options);
+
   const graph::Graph* graph_;
   const graph::IdAssignment* ids_;
   std::vector<std::unique_ptr<NodeProgram>> programs_;
+
+  /// CSR offsets into the graph's flattened adjacency (n+1 entries) and the
+  /// reverse-port table aligned with it: for the directed link that is
+  /// sender u's port p, rev_ports_[adj_offsets_[u] + p] is the receiver's
+  /// port for u. Built once in O(m) at construction.
+  std::vector<std::size_t> adj_offsets_;
+  std::vector<std::uint32_t> rev_ports_;
+
+  /// Reusable per-run buffers (arenas, timer wheel, step contexts); lazily
+  /// built on first arena run and reused across runs.
+  std::unique_ptr<SimRuntime> runtime_;
 };
 
 }  // namespace decycle::congest

@@ -51,13 +51,22 @@ class RepresentativePruner final : public Pruner {
     std::size_t universe = 0;
     if (!cfg_.fake_ids) {
       // Without Instruction 14 the completion set must consist of real IDs
-      // from I; |I \ L| = |I| - (t-1) must reach q at all.
-      std::unordered_set<NodeId> distinct;
-      for (const IdSeq& c : candidates) distinct.insert(c.begin(), c.end());
-      universe = distinct.size();
+      // from I; |I \ L| = |I| - (t-1) must reach q at all. Counting the
+      // distinct IDs via a reused flat scratch (sort + unique) beats the
+      // per-element hash inserts this loop used to do every call.
+      scratch_ids_.clear();
+      scratch_ids_.reserve(candidates.size() * (t - 1));
+      for (const IdSeq& c : candidates) {
+        scratch_ids_.insert(scratch_ids_.end(), c.begin(), c.end());
+      }
+      std::sort(scratch_ids_.begin(), scratch_ids_.end());
+      universe = static_cast<std::size_t>(
+          std::unique(scratch_ids_.begin(), scratch_ids_.end()) - scratch_ids_.begin());
     }
 
     Result out;
+    const std::uint64_t cap = lemma3_bound(cfg_.k, t);
+    out.accepted.reserve(std::min<std::uint64_t>(candidates.size(), cap));
     for (const IdSeq& candidate : candidates) {
       // Without fake IDs, an exact-size completion set X needs |I \ L| >= q
       // real IDs; with them, the q fakes always pad a small hitting set.
@@ -71,6 +80,7 @@ class RepresentativePruner final : public Pruner {
 
  private:
   PrunerConfig cfg_;
+  std::vector<NodeId> scratch_ids_;  ///< reused across calls; hot path runs once per node per round
 };
 
 /// Signed IDs so the fake IDs {-1, ..., -(k-t)} of Instruction 14 are

@@ -19,7 +19,9 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard lock(mutex_);
+    std::unique_lock lock(mutex_);
+    // Let any in-flight batch finish before tearing the workers down.
+    batch_cv_.wait(lock, [&] { return batch_workers_inside_ == 0; });
     stopping_ = true;
   }
   cv_.notify_all();
@@ -27,16 +29,88 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
+  std::uint64_t seen_epoch = 0;
   for (;;) {
-    std::function<void()> task;
+    IndexFnRef batch_fn;
+    std::size_t batch_count = 0;
     {
       std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
-      if (stopping_ && tasks_.empty()) return;
-      task = std::move(tasks_.front());
-      tasks_.pop_front();
+      cv_.wait(lock, [&] { return stopping_ || batch_epoch_ != seen_epoch; });
+      if (stopping_) return;
+      // Enter the current batch: snapshot its descriptor under the lock.
+      // for_indexed() never replaces the descriptor while any worker is
+      // inside (it waits for batch_workers_inside_ == 0), so the snapshot
+      // and the shared cursors always belong to the same batch.
+      seen_epoch = batch_epoch_;
+      batch_fn = batch_fn_;
+      batch_count = batch_count_;
+      ++batch_workers_inside_;
     }
-    task();
+    drain_batch(batch_fn, batch_count);
+    {
+      const std::lock_guard lock(mutex_);
+      --batch_workers_inside_;
+    }
+    batch_cv_.notify_all();
+  }
+}
+
+void ThreadPool::drain_batch(IndexFnRef fn, std::size_t count) {
+  for (;;) {
+    const std::size_t i = batch_next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= count) break;
+    try {
+      fn(i);
+    } catch (...) {
+      {
+        const std::lock_guard lock(mutex_);
+        if (!batch_error_) batch_error_ = std::current_exception();
+      }
+    }
+    if (batch_done_.fetch_add(1, std::memory_order_acq_rel) + 1 == count) {
+      // Last index finished: wake the blocked caller. Take the lock so the
+      // notification cannot slip between the caller's predicate check and
+      // its wait.
+      const std::lock_guard lock(mutex_);
+      batch_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::for_indexed(std::size_t count, IndexFnRef fn) {
+  if (count == 0) return;
+  if (workers_.empty() || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  // One caller owns the pool's batch machinery at a time; concurrent
+  // external callers (e.g. two threads sharing global_pool()) serialize
+  // here instead of corrupting each other's cursors.
+  const std::lock_guard submit_lock(submit_mutex_);
+  {
+    std::unique_lock lock(mutex_);
+    // One batch in flight: wait out any straggler workers of the previous
+    // batch before overwriting the descriptor they might still read.
+    batch_cv_.wait(lock, [&] { return batch_workers_inside_ == 0; });
+    batch_fn_ = fn;
+    batch_count_ = count;
+    batch_error_ = nullptr;
+    batch_next_.store(0, std::memory_order_relaxed);
+    batch_done_.store(0, std::memory_order_relaxed);
+    ++batch_epoch_;
+  }
+  cv_.notify_all();
+  drain_batch(fn, count);  // the caller participates
+  {
+    std::unique_lock lock(mutex_);
+    batch_cv_.wait(lock,
+                   [&] { return batch_done_.load(std::memory_order_acquire) == count; });
+    if (batch_error_) {
+      const std::exception_ptr err = batch_error_;
+      batch_error_ = nullptr;
+      lock.unlock();
+      std::rethrow_exception(err);
+    }
   }
 }
 
@@ -47,39 +121,12 @@ void ThreadPool::parallel_for_chunked(std::size_t count,
   const std::size_t chunk = std::max<std::size_t>(1, (count + max_tasks - 1) / max_tasks);
   const std::size_t num_tasks = (count + chunk - 1) / chunk;
 
-  // Completion state lives on this stack frame; the counter must only be
-  // decremented under done_mutex, otherwise the waiter can observe zero,
-  // return, and destroy the mutex while the last task still holds it.
-  std::size_t remaining = num_tasks;
-  std::exception_ptr first_error;
-  std::condition_variable done_cv;
-  std::mutex done_mutex;
-
-  for (std::size_t t = 0; t < num_tasks; ++t) {
+  const auto run_chunk = [&](std::size_t t) {
     const std::size_t begin = t * chunk;
     const std::size_t end = std::min(count, begin + chunk);
-    auto task = [&, begin, end] {
-      std::exception_ptr error;
-      try {
-        fn(begin, end);
-      } catch (...) {
-        error = std::current_exception();
-      }
-      const std::lock_guard dl(done_mutex);
-      if (error && !first_error) first_error = error;
-      if (--remaining == 0) done_cv.notify_all();
-    };
-    {
-      const std::lock_guard lock(mutex_);
-      tasks_.emplace_back(std::move(task));
-    }
-    cv_.notify_one();
-  }
-
-  std::unique_lock done_lock(done_mutex);
-  done_cv.wait(done_lock, [&] { return remaining == 0; });
-  done_lock.unlock();
-  if (first_error) std::rethrow_exception(first_error);
+    fn(begin, end);
+  };
+  for_indexed(num_tasks, run_chunk);
 }
 
 void ThreadPool::parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn) {

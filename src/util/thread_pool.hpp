@@ -1,27 +1,55 @@
 /// \file thread_pool.hpp
-/// \brief Fixed-size worker pool with a blocking parallel_for.
+/// \brief Fixed-size worker pool with a blocking parallel_for and a
+/// zero-allocation indexed batch mode.
 ///
 /// Two uses in the repository:
 ///   * the experiment harness fans independent tester trials out across
 ///     cores (each trial owns its RNG stream, so results are identical for
-///     any thread count);
-///   * the CONGEST simulator optionally steps active nodes in parallel
-///     within a round (per-thread outboxes merged deterministically).
+///     any thread count) — via parallel_for;
+///   * the CONGEST simulator steps active nodes and shards the delivery
+///     merge within every round — via for_indexed, which dispatches through
+///     a non-owning function reference and a shared atomic cursor, so a
+///     steady-state round performs no heap allocation in the pool
+///     (DESIGN.md §4). parallel_for is a thin chunking layer over it.
 ///
-/// The pool is deliberately simple — a mutex-protected deque is plenty for
-/// coarse-grained tasks (every task here simulates whole rounds or whole
-/// trials); no lock-free machinery to audit.
+/// The pool is deliberately simple — one mutex-guarded in-flight batch that
+/// workers join by snapshotting its descriptor; no lock-free machinery to
+/// audit. Batches block the caller and must not be submitted from inside
+/// pool work (no nesting), matching the blocking parallel_for's existing
+/// constraint.
 #pragma once
 
+#include <atomic>
+#include <concepts>
 #include <condition_variable>
 #include <cstddef>
-#include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace decycle::util {
+
+/// Non-owning reference to a callable taking a std::size_t index. Trivially
+/// copyable, never allocates; the referent must outlive every call.
+class IndexFnRef {
+ public:
+  template <typename F>
+    requires(!std::same_as<std::remove_cvref_t<F>, IndexFnRef>)
+  IndexFnRef(F& f) noexcept  // NOLINT(google-explicit-constructor)
+      : obj_(const_cast<void*>(static_cast<const void*>(&f))),
+        call_([](void* o, std::size_t i) { (*static_cast<F*>(o))(i); }) {}
+
+  IndexFnRef() noexcept = default;
+
+  void operator()(std::size_t i) const { call_(obj_, i); }
+  [[nodiscard]] bool valid() const noexcept { return call_ != nullptr; }
+
+ private:
+  void* obj_ = nullptr;
+  void (*call_)(void*, std::size_t) = nullptr;
+};
 
 class ThreadPool {
  public:
@@ -43,14 +71,37 @@ class ThreadPool {
   void parallel_for_chunked(std::size_t count,
                             const std::function<void(std::size_t, std::size_t)>& fn);
 
+  /// Runs fn(i) for i in [0, count), blocking until done. The calling thread
+  /// participates; workers claim indices from an atomic cursor. Performs no
+  /// heap allocation. Indices should be coarse chunks (the caller decides
+  /// the chunking — this is what makes results independent of the worker
+  /// count). Exceptions propagate (first one wins). Concurrent calls from
+  /// different threads serialize on the pool's one in-flight batch. Not
+  /// reentrant: must not be called from inside a pool task.
+  void for_indexed(std::size_t count, IndexFnRef fn);
+
  private:
   void worker_loop();
+  /// Claims and runs batch indices until the cursor is exhausted.
+  void drain_batch(IndexFnRef fn, std::size_t count);
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> tasks_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;
+
+  // --- indexed batch state (one batch in flight; guarded by mutex_ for
+  // writes, read by workers after they observe the epoch change;
+  // submit_mutex_ serializes whole batches across calling threads) ---
+  std::mutex submit_mutex_;
+  IndexFnRef batch_fn_;
+  std::size_t batch_count_ = 0;
+  std::uint64_t batch_epoch_ = 0;      ///< bumped per batch, under mutex_
+  std::atomic<std::size_t> batch_next_{0};
+  std::atomic<std::size_t> batch_done_{0};
+  std::size_t batch_workers_inside_ = 0;  ///< workers currently draining
+  std::condition_variable batch_cv_;      ///< completion / drain signaling
+  std::exception_ptr batch_error_;
 };
 
 /// Process-wide pool for the harness (constructed on first use).

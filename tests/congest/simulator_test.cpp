@@ -6,7 +6,9 @@
 #include <numeric>
 
 #include "graph/generators.hpp"
+#include "support/alloc_probe.hpp"
 #include "util/check.hpp"
+#include "util/rng.hpp"
 
 namespace decycle::congest {
 namespace {
@@ -222,6 +224,196 @@ TEST(Simulator, IdenticalResultsAcrossThreadCounts) {
   EXPECT_EQ(serial.second, par2.second);
   EXPECT_EQ(serial.first, par7.first);
   EXPECT_EQ(serial.second, par7.second);
+}
+
+/// Multi-round gossip that exercises every delivery feature at once: port-
+/// dependent sends, silent rounds, timer-wheel wake-ups (near and far), and
+/// a full inbox transcript for bit-identity checks.
+class GossipProgram final : public NodeProgram {
+ public:
+  void on_round(Context& ctx, std::span<const Envelope> inbox) override {
+    transcript_.push_back(0xf00d0000u + ctx.round());
+    for (const Envelope& env : inbox) {
+      transcript_.push_back(env.port);
+      MessageReader r(env.payload);
+      while (!r.at_end()) transcript_.push_back(r.get_u64());
+    }
+    if (ctx.round() >= kLastRound) return;
+    for (std::uint32_t p = 0; p < ctx.degree(); ++p) {
+      if ((ctx.round() + ctx.vertex() + p) % 3 == 0) continue;  // stay silent on some links
+      MessageWriter w;
+      w.put_u64(ctx.my_id()).put_u64(ctx.round()).put_u64(p);
+      ctx.send(p, w.finish());
+    }
+    if (ctx.round() % 4 == 0) ctx.request_wakeup_at(ctx.round() + 3);
+    if (ctx.vertex() % 7 == 0 && ctx.round() == 0) {
+      ctx.request_wakeup_at(kLastRound + 80);  // far target: exercises the heap
+    }
+  }
+
+  static constexpr std::uint64_t kLastRound = 12;
+  std::vector<std::uint64_t> transcript_;
+};
+
+struct RunOutcome {
+  RunStats stats;
+  std::vector<std::vector<std::uint64_t>> transcripts;
+};
+
+bool same_round_stats(const RoundStats& a, const RoundStats& b) {
+  return a.round == b.round && a.active_nodes == b.active_nodes && a.messages == b.messages &&
+         a.bits == b.bits && a.max_link_bits == b.max_link_bits;
+}
+
+void expect_identical(const RunOutcome& a, const RunOutcome& b, const std::string& label) {
+  EXPECT_EQ(a.stats.rounds_executed, b.stats.rounds_executed) << label;
+  EXPECT_EQ(a.stats.total_messages, b.stats.total_messages) << label;
+  EXPECT_EQ(a.stats.total_bits, b.stats.total_bits) << label;
+  EXPECT_EQ(a.stats.max_link_bits, b.stats.max_link_bits) << label;
+  EXPECT_EQ(a.stats.max_active_nodes, b.stats.max_active_nodes) << label;
+  EXPECT_EQ(a.stats.dropped_messages, b.stats.dropped_messages) << label;
+  EXPECT_EQ(a.stats.halted, b.stats.halted) << label;
+  ASSERT_EQ(a.stats.per_round.size(), b.stats.per_round.size()) << label;
+  for (std::size_t i = 0; i < a.stats.per_round.size(); ++i) {
+    EXPECT_TRUE(same_round_stats(a.stats.per_round[i], b.stats.per_round[i]))
+        << label << " round " << i;
+  }
+  EXPECT_EQ(a.transcripts, b.transcripts) << label;
+}
+
+RunOutcome run_gossip(const Graph& g, const IdAssignment& ids, util::ThreadPool* pool,
+                      DeliveryMode mode, bool with_drops) {
+  Simulator sim(g, ids, [](Vertex) { return std::make_unique<GossipProgram>(); });
+  Simulator::Options opt;
+  opt.pool = pool;
+  opt.parallel_threshold = 1;  // force the parallel paths whenever a pool is given
+  opt.record_rounds = true;
+  opt.delivery = mode;
+  if (with_drops) {
+    const Vertex n = g.num_vertices();
+    opt.drop = [n](std::uint64_t round, Vertex from, Vertex to) {
+      return util::splitmix64(round * n + from * 31 + to) % 5 == 0;
+    };
+  }
+  RunOutcome out;
+  out.stats = sim.run(opt);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    out.transcripts.push_back(static_cast<const GossipProgram&>(sim.program(v)).transcript_);
+  }
+  return out;
+}
+
+/// The determinism contract (DESIGN.md §3.2), property-tested: identical
+/// RunStats (including per-round records) and bit-identical inbox
+/// transcripts on 1, 4 and 8 threads, with and without the drop-filter
+/// adversary — and the parallel arena path agrees with the serial legacy
+/// oracle.
+TEST(Simulator, DeterminismAcrossThreadCountsAndAdversary) {
+  util::Rng rng(7);
+  const Graph graphs[] = {graph::grid(9, 9), graph::wheel(40),
+                          graph::random_regular(60, 6, rng)};
+  util::ThreadPool pool4(4);
+  util::ThreadPool pool8(8);
+  for (std::size_t gi = 0; gi < std::size(graphs); ++gi) {
+    const Graph& g = graphs[gi];
+    util::Rng id_rng(13 + gi);
+    const IdAssignment ids = IdAssignment::shuffled(g.num_vertices(), id_rng);
+    for (const bool drops : {false, true}) {
+      const std::string label =
+          "graph " + std::to_string(gi) + (drops ? " with drops" : " no drops");
+      const RunOutcome oracle = run_gossip(g, ids, nullptr, DeliveryMode::kLegacy, drops);
+      const RunOutcome serial = run_gossip(g, ids, nullptr, DeliveryMode::kArena, drops);
+      const RunOutcome par4 = run_gossip(g, ids, &pool4, DeliveryMode::kArena, drops);
+      const RunOutcome par8 = run_gossip(g, ids, &pool8, DeliveryMode::kArena, drops);
+      const RunOutcome legacy4 = run_gossip(g, ids, &pool4, DeliveryMode::kLegacy, drops);
+      expect_identical(serial, oracle, label + ": arena vs legacy oracle");
+      expect_identical(par4, serial, label + ": 4 threads vs serial");
+      expect_identical(par8, serial, label + ": 8 threads vs serial");
+      expect_identical(legacy4, oracle, label + ": legacy 4 threads vs serial");
+    }
+  }
+}
+
+/// Messages that fit the inline buffer (every legal CONGEST payload) must
+/// round-trip through the delivery path without the payload ever moving to
+/// the heap; oversized ones must still round-trip correctly.
+TEST(Simulator, ArenaHandlesOversizedPayloads) {
+  class BigSender final : public NodeProgram {
+   public:
+    void on_round(Context& ctx, std::span<const Envelope> inbox) override {
+      if (ctx.round() == 0) {
+        MessageWriter w;
+        for (std::uint64_t i = 0; i < 40; ++i) w.put_u64(~std::uint64_t{0} - i);
+        ctx.send_all(w.finish());
+        return;
+      }
+      for (const Envelope& env : inbox) {
+        MessageReader r(env.payload);
+        for (std::uint64_t i = 0; i < 40; ++i) {
+          if (r.get_u64() != ~std::uint64_t{0} - i) return;  // leave ok_ false
+        }
+        ok_ = r.at_end();
+      }
+    }
+    bool ok_ = false;
+  };
+  const Graph g = graph::cycle(6);
+  const IdAssignment ids = IdAssignment::identity(6);
+  Simulator sim(g, ids, [](Vertex) { return std::make_unique<BigSender>(); });
+  const RunStats stats = sim.run();
+  EXPECT_TRUE(stats.halted);
+  EXPECT_GE(stats.max_link_bits, 40u * 10u * 8u);  // 40 max-size varints
+  for (Vertex v = 0; v < 6; ++v) {
+    EXPECT_TRUE(static_cast<const BigSender&>(sim.program(v)).ok_) << v;
+  }
+}
+
+/// Steady-state rounds of the arena path perform zero heap allocations —
+/// the acceptance bar for the zero-allocation delivery rewrite. The first
+/// run warms every reusable buffer (arena, outboxes, timer wheel); the
+/// second run on the same Simulator must then be allocation-free from
+/// begin_run to quiescence, serial and pooled alike.
+TEST(Simulator, SteadyStateDeliveryIsAllocationFree) {
+  ASSERT_TRUE(testsupport::allocation_probe_active());
+
+  /// Chatty gossip with no per-node state at all, so every allocation in
+  /// the run belongs to the simulator.
+  class StatelessChatter final : public NodeProgram {
+   public:
+    void on_round(Context& ctx, std::span<const Envelope> inbox) override {
+      std::uint64_t acc = 0;
+      for (const Envelope& env : inbox) {
+        MessageReader r(env.payload);
+        while (!r.at_end()) acc ^= r.get_u64();
+      }
+      if (ctx.round() >= 24) return;
+      MessageWriter w;
+      w.put_u64(ctx.my_id()).put_u64(acc);
+      ctx.send_all(w.finish());
+      if (ctx.round() % 5 == 0) ctx.request_wakeup_at(ctx.round() + 2);
+    }
+  };
+
+  const Graph g = graph::grid(12, 12);
+  const IdAssignment ids = IdAssignment::identity(g.num_vertices());
+  util::ThreadPool pool(4);
+
+  for (util::ThreadPool* p : {static_cast<util::ThreadPool*>(nullptr), &pool}) {
+    Simulator sim(g, ids, [](Vertex) { return std::make_unique<StatelessChatter>(); });
+    Simulator::Options opt;
+    opt.pool = p;
+    opt.parallel_threshold = 1;
+    const RunStats warm = sim.run(opt);
+    EXPECT_TRUE(warm.halted);
+
+    const std::uint64_t before = testsupport::allocation_count();
+    const RunStats steady = sim.run(opt);
+    const std::uint64_t after = testsupport::allocation_count();
+    EXPECT_TRUE(steady.halted);
+    EXPECT_EQ(steady.total_messages, warm.total_messages);
+    EXPECT_EQ(after - before, 0u) << (p == nullptr ? "serial" : "pooled")
+                                  << " steady-state run allocated";
+  }
 }
 
 TEST(Simulator, MismatchedIdAssignmentRejected) {

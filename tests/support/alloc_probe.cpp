@@ -1,0 +1,68 @@
+#include "support/alloc_probe.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+std::atomic<std::uint64_t> g_alloc_count{0};
+
+void* counted_alloc(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc{};
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t alignment) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  // aligned_alloc requires size to be a multiple of alignment.
+  const std::size_t padded = (std::max<std::size_t>(size, 1) + alignment - 1) / alignment * alignment;
+  if (void* p = std::aligned_alloc(alignment, padded)) return p;
+  throw std::bad_alloc{};
+}
+
+}  // namespace
+
+namespace decycle::testsupport {
+
+std::uint64_t allocation_count() noexcept {
+  return g_alloc_count.load(std::memory_order_relaxed);
+}
+
+bool allocation_probe_active() noexcept { return true; }
+
+}  // namespace decycle::testsupport
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+
+// Over-aligned forms: libstdc++'s defaults do not route through the plain
+// operator new, so they must be replaced too or aligned allocations become
+// invisible to the zero-allocation assertions.
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }

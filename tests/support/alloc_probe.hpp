@@ -1,0 +1,25 @@
+/// \file alloc_probe.hpp
+/// \brief Process-wide heap allocation counter for zero-allocation tests.
+///
+/// Binaries that link the companion alloc_probe.cpp get global operator
+/// new/delete replaced with counting versions. Tests snapshot the counter
+/// around a region that must not allocate (e.g. the simulator's steady-state
+/// delivery path) and assert the delta is zero. The counter is atomic and
+/// counts every thread's allocations, so regions under test must keep their
+/// own threads allocation-free too — which is exactly the property the
+/// simulator guarantees.
+#pragma once
+
+#include <cstdint>
+
+namespace decycle::testsupport {
+
+/// Total number of heap allocations (operator new calls) since process
+/// start. Monotonic; never reset. Only binaries that link alloc_probe.cpp
+/// may call this.
+[[nodiscard]] std::uint64_t allocation_count() noexcept;
+
+/// True when the counting operator new/delete replacement is active.
+[[nodiscard]] bool allocation_probe_active() noexcept;
+
+}  // namespace decycle::testsupport

@@ -83,6 +83,35 @@ TEST(ThreadPool, ManySmallBatches) {
   EXPECT_EQ(total.load(), 350);
 }
 
+TEST(ThreadPool, ForIndexedCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 997;
+  std::vector<std::atomic<int>> hits(kN);
+  const auto fn = [&](std::size_t i) { hits[i].fetch_add(1); };
+  pool.for_indexed(kN, fn);
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, ForIndexedPropagatesExceptionsAndStaysUsable) {
+  ThreadPool pool(3);
+  const auto boom = [](std::size_t i) {
+    if (i == 13) throw std::runtime_error("boom");
+  };
+  EXPECT_THROW(pool.for_indexed(64, boom), std::runtime_error);
+  std::atomic<std::size_t> sum{0};
+  const auto add = [&](std::size_t i) { sum.fetch_add(i); };
+  pool.for_indexed(100, add);
+  EXPECT_EQ(sum.load(), 4950u);
+}
+
+TEST(ThreadPool, ForIndexedBackToBackBatches) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  const auto bump = [&](std::size_t) { total.fetch_add(1); };
+  for (int round = 0; round < 200; ++round) pool.for_indexed(5, bump);
+  EXPECT_EQ(total.load(), 1000);
+}
+
 TEST(ThreadPool, GlobalPoolIsSingleton) {
   ThreadPool& a = global_pool();
   ThreadPool& b = global_pool();
