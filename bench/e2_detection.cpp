@@ -9,6 +9,7 @@
 /// on a cycle edge) is extremely loose — the measured rates illustrate by
 /// how much.
 #include <iostream>
+#include <memory>
 
 #include "core/tester.hpp"
 #include "graph/far_generators.hpp"
@@ -33,15 +34,20 @@ int main(int argc, char** argv) {
   const auto measure = [&](const graph::FarInstance& inst, unsigned k) {
     const double eps = inst.certified_epsilon();
     const std::size_t reps = core::recommended_repetitions(eps);
-    const auto estimate = harness::estimate_rate(
-        [&](std::size_t, std::uint64_t seed) {
-          core::TesterOptions topt;
-          topt.k = k;
-          topt.epsilon = eps;
-          topt.seed = seed;
-          return !core::test_ck_freeness(
-                      inst.graph, graph::IdAssignment::identity(inst.graph.num_vertices()), topt)
-                      .accepted;
+    // One Simulator per lane, reset between trials (Simulator::reset): the
+    // CSR table and arenas are built once per lane, not once per trial.
+    // Seeds are the estimate_rate scheme, so rates match any thread count.
+    const graph::IdAssignment ids = graph::IdAssignment::identity(inst.graph.num_vertices());
+    const auto estimate = harness::estimate_rate_lanes(
+        [&](std::size_t) {
+          auto sim = std::make_shared<congest::Simulator>(inst.graph, ids);
+          return [&, sim](std::size_t, std::uint64_t seed) {
+            core::TesterOptions topt;
+            topt.k = k;
+            topt.epsilon = eps;
+            topt.seed = seed;
+            return !core::test_ck_freeness(*sim, topt).accepted;
+          };
         },
         trials, 4242 + k, &pool);
 

@@ -1,0 +1,138 @@
+/// \file m4_lab_micro.cpp
+/// \brief Micro-benchmark M4 — Simulator reuse in lab trial loops.
+///
+/// Measures the before/after of Simulator::reset on estimator-heavy lab
+/// workloads: the same scenario cell is executed with per-trial fresh
+/// Simulator construction (before) and with one reused, reset() simulator
+/// per lane (after — the LabRunner default). Three workload shapes:
+///
+///   * tester_per_rep   — per-repetition detection-rate estimation (reps=1,
+///     many trials) on a planted instance: construction is a large fraction
+///     of each trial, the shape where reuse pays most;
+///   * tester_full      — a full Theorem-1 T2-style completeness cell
+///     (recommended repetitions): run-dominated, honest lower bound;
+///   * edge_checker_sparse — the deterministic checker on a 20k-node sparse
+///     G(n,2n): k/2+1 rounds of work against an O(m) per-trial table build.
+///
+/// Both modes must produce identical cell aggregates (the reuse contract);
+/// the bench aborts with exit code 1 otherwise. Heap allocations per mode
+/// are counted with the test alloc probe. Writes BENCH_lab.json (override
+/// with --out=PATH); --smoke shrinks trial counts for CI.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lab/runner.hpp"
+#include "lab/scenario.hpp"
+#include "support/alloc_probe.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace decycle;
+
+struct ModeResult {
+  double seconds = 0.0;
+  std::uint64_t allocations = 0;
+  lab::CellResult cell;
+};
+
+ModeResult run_mode(const lab::ScenarioCell& cell, bool reuse) {
+  lab::LabOptions opts;
+  opts.reuse_simulators = reuse;
+  const lab::LabRunner runner(opts);
+  ModeResult out;
+  const std::uint64_t allocs_before = testsupport::allocation_count();
+  const auto start = std::chrono::steady_clock::now();
+  out.cell = runner.run_cell(cell);
+  out.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  out.allocations = testsupport::allocation_count() - allocs_before;
+  return out;
+}
+
+bool aggregates_match(const lab::CellResult& a, const lab::CellResult& b) {
+  return a.rejections == b.rejections && a.rounds_total == b.rounds_total &&
+         a.messages_total == b.messages_total && a.bits_total == b.bits_total &&
+         a.max_link_bits == b.max_link_bits && a.max_bundle == b.max_bundle &&
+         a.dropped_total == b.dropped_total;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const bool smoke = args.get_bool("smoke", false);
+  const std::string out_path = args.get_string("out", "BENCH_lab.json");
+  args.reject_unknown();
+
+  struct Scenario {
+    const char* name;
+    std::vector<std::string> tokens;
+  };
+  const std::size_t t1 = smoke ? 32 : 512;
+  const std::size_t t2 = smoke ? 8 : 64;
+  const std::size_t t3 = smoke ? 8 : 128;
+  const Scenario scenarios[] = {
+      {"tester_per_rep",
+       {"family=planted", "k=5", "n=200", "eps=0.1", "reps=1", "seed=404",
+        "trials=" + std::to_string(t1)}},
+      {"tester_full",
+       {"family=planted", "k=5", "n=60", "eps=0.1", "seed=404",
+        "trials=" + std::to_string(t2)}},
+      {"edge_checker_sparse",
+       {"family=gnm", "k=5", "n=20000", "algo=edge_checker", "seed=404",
+        "trials=" + std::to_string(t3)}},
+  };
+
+  std::string doc = "{\n  \"bench\": \"m4_lab_micro\",\n  \"smoke\": ";
+  doc += smoke ? "true" : "false";
+  doc +=
+      ",\n  \"baseline\": \"fresh Simulator per trial (pre-reset build)\",\n  \"scenarios\": [\n";
+
+  bool ok = true;
+  for (std::size_t i = 0; i < std::size(scenarios); ++i) {
+    const Scenario& sc = scenarios[i];
+    const lab::ScenarioSpec spec = lab::ScenarioSpec::parse_tokens(sc.tokens);
+    const auto cells = spec.expand();
+    const ModeResult fresh = run_mode(cells[0], /*reuse=*/false);
+    const ModeResult reused = run_mode(cells[0], /*reuse=*/true);
+    if (!aggregates_match(fresh.cell, reused.cell)) {
+      std::fprintf(stderr, "FAIL: %s — reuse changed the cell aggregates\n", sc.name);
+      ok = false;
+    }
+    const double speedup = reused.seconds > 0 ? fresh.seconds / reused.seconds : 0.0;
+    const double alloc_cut =
+        fresh.allocations > 0
+            ? 1.0 - static_cast<double>(reused.allocations) / static_cast<double>(fresh.allocations)
+            : 0.0;
+    char line[640];
+    std::snprintf(
+        line, sizeof(line),
+        "    {\"name\": \"%s\", \"trials\": %llu, \"vertices\": %llu, \"edges\": %llu,\n"
+        "     \"before\": {\"mode\": \"fresh_build\", \"seconds\": %.6f, \"allocations\": %llu},\n"
+        "     \"after\":  {\"mode\": \"reset_reuse\", \"seconds\": %.6f, \"allocations\": %llu},\n"
+        "     \"speedup\": %.3f, \"alloc_reduction\": %.3f}%s\n",
+        sc.name, static_cast<unsigned long long>(fresh.cell.trials),
+        static_cast<unsigned long long>(fresh.cell.total_vertices / fresh.cell.trials),
+        static_cast<unsigned long long>(fresh.cell.total_edges / fresh.cell.trials),
+        fresh.seconds, static_cast<unsigned long long>(fresh.allocations), reused.seconds,
+        static_cast<unsigned long long>(reused.allocations), speedup, alloc_cut,
+        i + 1 < std::size(scenarios) ? "," : "");
+    doc += line;
+    std::printf("%-20s fresh %.3fs (%llu allocs)  reuse %.3fs (%llu allocs)  speedup %.2fx\n",
+                sc.name, fresh.seconds, static_cast<unsigned long long>(fresh.allocations),
+                reused.seconds, static_cast<unsigned long long>(reused.allocations), speedup);
+  }
+  doc += "  ]\n}\n";
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fputs(doc.c_str(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# Canonical nightly scenario matrix. CI and local runs must invoke the lab
+# through this script so the arguments can never drift from the golden file.
+#
+# Usage: ci/run_nightly_matrix.sh <build-dir> [threads]
+#
+# Writes JSONL to stdout. Regenerate the golden after an intentional format
+# or semantics change with:
+#   ci/run_nightly_matrix.sh build > ci/golden/nightly_matrix.jsonl
+set -eu
+BUILD_DIR="${1:?usage: run_nightly_matrix.sh <build-dir> [threads]}"
+THREADS="${2:-1}"
+exec "${BUILD_DIR}/decycle_lab" \
+  --family=cycle,planted,layered,ckfree_highgirth,ckfree_forest \
+  --k=4,5 \
+  --n=24 \
+  --eps=0.125 \
+  --adversary=none,uniform:0.25 \
+  --algo=tester,edge_checker \
+  --trials=12 \
+  --seed=2026 \
+  --threads="${THREADS}"

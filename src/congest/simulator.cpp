@@ -161,15 +161,15 @@ struct SimRuntime {
 
 Simulator::Simulator(const graph::Graph& g, const graph::IdAssignment& ids,
                      const ProgramFactory& factory)
+    : Simulator(g, ids) {
+  reset(factory);
+}
+
+Simulator::Simulator(const graph::Graph& g, const graph::IdAssignment& ids)
     : graph_(&g), ids_(&ids) {
   DECYCLE_CHECK_MSG(ids.num_vertices() == g.num_vertices(),
                     "ID assignment size does not match graph");
   const Vertex n = g.num_vertices();
-  programs_.reserve(n);
-  for (Vertex v = 0; v < n; ++v) {
-    programs_.push_back(factory(v));
-    DECYCLE_CHECK_MSG(programs_.back() != nullptr, "program factory returned null");
-  }
 
   // CSR reverse-port table: visiting senders u in ascending order visits
   // each receiver v's neighbors in ascending order too, so a running cursor
@@ -189,7 +189,26 @@ Simulator::Simulator(const graph::Graph& g, const graph::IdAssignment& ids,
 
 Simulator::~Simulator() = default;
 
+void Simulator::reset(const ProgramFactory& factory) {
+  const Vertex n = graph_->num_vertices();
+  programs_.resize(n);  // keeps capacity across resets
+  try {
+    for (Vertex v = 0; v < n; ++v) {
+      programs_[v] = factory(v);
+      DECYCLE_CHECK_MSG(programs_[v] != nullptr, "program factory returned null");
+    }
+  } catch (...) {
+    // Never leave a half-programmed simulator behind: fall back to the
+    // needs-reset state so a later run() refuses instead of dereferencing
+    // the null entries.
+    programs_.clear();
+    throw;
+  }
+}
+
 RunStats Simulator::run(const Options& options) {
+  DECYCLE_CHECK_MSG(!programs_.empty() || graph_->num_vertices() == 0,
+                    "Simulator::run before reset(): topology-only simulator has no programs");
   return options.delivery == DeliveryMode::kArena ? run_arena(options) : run_legacy(options);
 }
 

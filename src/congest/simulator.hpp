@@ -69,7 +69,22 @@ class Simulator {
   };
 
   Simulator(const graph::Graph& g, const graph::IdAssignment& ids, const ProgramFactory& factory);
+
+  /// Topology-only construction for reuse workflows (lab runner, estimator
+  /// lanes): builds the CSR reverse-port table but no programs. reset() must
+  /// be called before run().
+  Simulator(const graph::Graph& g, const graph::IdAssignment& ids);
+
   ~Simulator();
+
+  /// Re-arms the simulator for a fresh run on the same topology: replaces
+  /// every node program via \p factory while keeping the CSR reverse-port
+  /// table and all run-time buffers (envelope arenas at their traffic
+  /// high-water mark, timer wheel, step contexts). A reset-then-run is
+  /// bit-identical to constructing a fresh Simulator with the same factory
+  /// and running it (property-tested) — consecutive trials on one topology
+  /// skip the O(m) table build and the first-run arena growth.
+  void reset(const ProgramFactory& factory);
 
   /// Runs until the network quiesces (no mail in flight, no wake-ups) or the
   /// round cap is hit.

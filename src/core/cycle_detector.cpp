@@ -31,12 +31,22 @@ void EdgeCheckProgram::on_round(congest::Context& ctx, std::span<const congest::
 EdgeDetectionResult detect_cycle_through_edge(const graph::Graph& g,
                                               const graph::IdAssignment& ids, graph::Edge e,
                                               const EdgeDetectionOptions& options) {
+  // Validate before paying the O(m) reverse-port-table construction.
+  DECYCLE_CHECK_MSG(g.has_edge(e.first, e.second), "edge to check is not in the graph");
+  congest::Simulator sim(g, ids);
+  return detect_cycle_through_edge(sim, e, options);
+}
+
+EdgeDetectionResult detect_cycle_through_edge(congest::Simulator& sim, graph::Edge e,
+                                              const EdgeDetectionOptions& options) {
+  const graph::Graph& g = sim.graph();
+  const graph::IdAssignment& ids = sim.ids();
   DECYCLE_CHECK_MSG(g.has_edge(e.first, e.second), "edge to check is not in the graph");
   const NodeId u = ids.id_of(e.first);
   const NodeId v = ids.id_of(e.second);
   DetectParams params = options.detect;
 
-  congest::Simulator sim(g, ids, [&](graph::Vertex vert) {
+  sim.reset([&](graph::Vertex vert) {
     return std::make_unique<EdgeCheckProgram>(params, ids.id_of(vert), u, v);
   });
 
@@ -44,6 +54,7 @@ EdgeDetectionResult detect_cycle_through_edge(const graph::Graph& g,
   sim_options.pool = options.pool;
   sim_options.record_rounds = options.record_rounds;
   sim_options.drop = options.drop;
+  sim_options.delivery = options.delivery;
   sim_options.max_rounds = params.k + 2;  // ⌊k/2⌋+1 rounds suffice; margin for safety
   EdgeDetectionResult result;
   result.stats = sim.run(sim_options);

@@ -51,6 +51,7 @@ struct EdgeDetectionOptions {
   bool record_rounds = false;
   bool validate_witness = true;
   congest::Simulator::DropFilter drop;  ///< optional message-loss adversary
+  congest::DeliveryMode delivery = congest::DeliveryMode::kArena;
 };
 
 /// Runs the checker for edge \p e on the CONGEST simulator and aggregates
@@ -58,6 +59,13 @@ struct EdgeDetectionOptions {
 [[nodiscard]] EdgeDetectionResult detect_cycle_through_edge(const graph::Graph& g,
                                                             const graph::IdAssignment& ids,
                                                             graph::Edge e,
+                                                            const EdgeDetectionOptions& options);
+
+/// Same, but on an existing Simulator for the topology: resets it with
+/// checker programs and runs. Sweeping many edges of one graph (T4-style
+/// scans, lab edge-checker cells) reuses the CSR table and arenas; the
+/// result is bit-identical to the fresh-build overload.
+[[nodiscard]] EdgeDetectionResult detect_cycle_through_edge(congest::Simulator& sim, graph::Edge e,
                                                             const EdgeDetectionOptions& options);
 
 }  // namespace decycle::core

@@ -179,7 +179,15 @@ void TesterProgram::broadcast_sequences(congest::Context& ctx, std::span<const I
 
 TestVerdict test_ck_freeness(const graph::Graph& g, const graph::IdAssignment& ids,
                              const TesterOptions& options) {
+  DECYCLE_CHECK_MSG(options.k >= 3, "k must be at least 3");  // before the O(m) table build
+  congest::Simulator sim(g, ids);
+  return test_ck_freeness(sim, options);
+}
+
+TestVerdict test_ck_freeness(congest::Simulator& sim, const TesterOptions& options) {
   DECYCLE_CHECK_MSG(options.k >= 3, "k must be at least 3");
+  const graph::Graph& g = sim.graph();
+  const graph::IdAssignment& ids = sim.ids();
   TestVerdict verdict;
   verdict.repetitions =
       options.repetitions != 0 ? options.repetitions : recommended_repetitions(options.epsilon);
@@ -187,7 +195,7 @@ TestVerdict test_ck_freeness(const graph::Graph& g, const graph::IdAssignment& i
   DetectParams params = options.detect;
   params.k = options.k;
 
-  congest::Simulator sim(g, ids, [&](graph::Vertex v) {
+  sim.reset([&](graph::Vertex v) {
     return std::make_unique<TesterProgram>(params, verdict.repetitions, options.seed,
                                            g.num_vertices(), ids.id_of(v));
   });
@@ -196,6 +204,7 @@ TestVerdict test_ck_freeness(const graph::Graph& g, const graph::IdAssignment& i
   sim_options.pool = options.pool;
   sim_options.record_rounds = options.record_rounds;
   sim_options.drop = options.drop;
+  sim_options.delivery = options.delivery;
   sim_options.max_rounds =
       verdict.repetitions * (static_cast<std::uint64_t>(options.k / 2) + 2) + 4;
   verdict.stats = sim.run(sim_options);

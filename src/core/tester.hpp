@@ -91,6 +91,7 @@ struct TesterOptions {
   bool record_rounds = false;
   util::ThreadPool* pool = nullptr;
   congest::Simulator::DropFilter drop;  ///< optional message-loss adversary
+  congest::DeliveryMode delivery = congest::DeliveryMode::kArena;
 };
 
 struct TestVerdict {
@@ -108,5 +109,11 @@ struct TestVerdict {
 /// Runs the full tester on the simulator and aggregates node outputs.
 [[nodiscard]] TestVerdict test_ck_freeness(const graph::Graph& g, const graph::IdAssignment& ids,
                                            const TesterOptions& options);
+
+/// Same, but on an existing Simulator for \p sim's topology: resets it with
+/// tester programs and runs. Reusing one Simulator across trials on a fixed
+/// topology (estimator workloads) skips the per-trial CSR table build and
+/// arena warm-up; the verdict is bit-identical to the fresh-build overload.
+[[nodiscard]] TestVerdict test_ck_freeness(congest::Simulator& sim, const TesterOptions& options);
 
 }  // namespace decycle::core

@@ -1,6 +1,8 @@
 #include "harness/estimator.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <vector>
 
 #include "util/rng.hpp"
 
@@ -10,8 +12,7 @@ RateEstimate estimate_rate(const std::function<bool(std::size_t, std::uint64_t)>
                            std::size_t trials, std::uint64_t base_seed, util::ThreadPool* pool) {
   std::atomic<std::uint64_t> successes{0};
   const auto run_one = [&](std::size_t i) {
-    const std::uint64_t seed = util::splitmix64(base_seed ^ util::splitmix64(i + 1));
-    if (trial(i, seed)) successes.fetch_add(1, std::memory_order_relaxed);
+    if (trial(i, trial_seed(base_seed, i))) successes.fetch_add(1, std::memory_order_relaxed);
   };
   if (pool != nullptr) {
     pool->parallel_for(trials, run_one);
@@ -21,6 +22,31 @@ RateEstimate estimate_rate(const std::function<bool(std::size_t, std::uint64_t)>
   RateEstimate out;
   out.trials = trials;
   out.successes = successes.load();
+  out.interval = util::wilson_interval(out.successes, out.trials);
+  return out;
+}
+
+RateEstimate estimate_rate_lanes(const LaneFactory& make_lane, std::size_t trials,
+                                 std::uint64_t base_seed, util::ThreadPool* pool) {
+  const std::size_t lanes = lane_count(pool, trials);
+  // Per-trial outcomes are stored by index and reduced serially, so the
+  // estimate cannot depend on lane boundaries or scheduling.
+  std::vector<std::uint8_t> outcome(trials, 0);
+  const auto run_lane = [&](std::size_t lane) {
+    const TrialFn trial = make_lane(lane);
+    const auto [begin, end] = lane_range(trials, lane, lanes);
+    for (std::size_t i = begin; i < end; ++i) {
+      outcome[i] = trial(i, trial_seed(base_seed, i)) ? 1 : 0;
+    }
+  };
+  if (lanes > 1) {
+    pool->for_indexed(lanes, run_lane);
+  } else {
+    run_lane(0);
+  }
+  RateEstimate out;
+  out.trials = trials;
+  for (const std::uint8_t ok : outcome) out.successes += ok;
   out.interval = util::wilson_interval(out.successes, out.trials);
   return out;
 }

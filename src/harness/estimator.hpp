@@ -8,13 +8,38 @@
 /// uncertainty so benches can assert "detection >= 2/3" honestly.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <utility>
 
+#include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
 
 namespace decycle::harness {
+
+/// Trial \p trial's seed. The single definition shared by estimate_rate,
+/// estimate_rate_lanes, and the lab runner — their estimates are
+/// bit-compatible because they all derive seeds here.
+[[nodiscard]] constexpr std::uint64_t trial_seed(std::uint64_t base_seed,
+                                                 std::size_t trial) noexcept {
+  return util::splitmix64(base_seed ^ util::splitmix64(trial + 1));
+}
+
+/// Lane \p lane's contiguous [begin, end) block of \p total trials.
+[[nodiscard]] constexpr std::pair<std::size_t, std::size_t> lane_range(
+    std::size_t total, std::size_t lane, std::size_t lanes) noexcept {
+  return {total * lane / lanes, total * (lane + 1) / lanes};
+}
+
+/// How many lanes \p trials split into on \p pool: one per worker, never
+/// more than trials, 1 without a pool.
+[[nodiscard]] inline std::size_t lane_count(const util::ThreadPool* pool,
+                                            std::size_t trials) noexcept {
+  if (pool == nullptr) return 1;
+  return std::max<std::size_t>(1, std::min(pool->size(), trials));
+}
 
 struct RateEstimate {
   std::uint64_t trials = 0;
@@ -29,5 +54,25 @@ struct RateEstimate {
 [[nodiscard]] RateEstimate estimate_rate(
     const std::function<bool(std::size_t, std::uint64_t)>& trial, std::size_t trials,
     std::uint64_t base_seed, util::ThreadPool* pool = nullptr);
+
+/// One trial: (trial_index, trial_seed) -> success.
+using TrialFn = std::function<bool(std::size_t, std::uint64_t)>;
+
+/// Builds the trial functor for one execution lane. A lane is a contiguous
+/// block of trial indices run serially on one worker; the functor owns
+/// whatever expensive per-lane state the trials share — typically a
+/// congest::Simulator reset between trials instead of rebuilt
+/// (Simulator::reset), which is the hot-path win for estimator-heavy
+/// workloads like T2 completeness sweeps.
+using LaneFactory = std::function<TrialFn(std::size_t lane)>;
+
+/// Like estimate_rate, but trials are partitioned into one lane per worker
+/// so per-lane state amortizes across the lane's trials. The trial seed
+/// derivation is identical to estimate_rate's — the estimate is
+/// bit-identical for any thread count, any lane count, and to the unlaned
+/// overload itself.
+[[nodiscard]] RateEstimate estimate_rate_lanes(const LaneFactory& make_lane, std::size_t trials,
+                                               std::uint64_t base_seed,
+                                               util::ThreadPool* pool = nullptr);
 
 }  // namespace decycle::harness

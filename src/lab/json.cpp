@@ -1,0 +1,145 @@
+#include "lab/json.hpp"
+
+#include <charconv>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace decycle::lab {
+
+std::string json_quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out.push_back(kHex[(c >> 4) & 0xf]);
+          out.push_back(kHex[c & 0xf]);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string json_double(double d) {
+  if (!std::isfinite(d)) return "null";
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), d);
+  DECYCLE_CHECK(ec == std::errc());
+  return std::string(buf, ptr);
+}
+
+void JsonWriter::before_value() {
+  if (!stack_.empty() && stack_.back() == Frame::kObject) {
+    DECYCLE_CHECK_MSG(have_key_, "JSON value inside an object needs a key() first");
+    have_key_ = false;
+  } else {
+    if (need_comma_) raw(",");
+  }
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  DECYCLE_CHECK_MSG(!stack_.empty() && stack_.back() == Frame::kObject,
+                    "JSON key() outside an object");
+  DECYCLE_CHECK_MSG(!have_key_, "JSON key() twice without a value");
+  if (need_comma_) raw(",");
+  raw(json_quote(k));
+  raw(":");
+  have_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  raw("{");
+  stack_.push_back(Frame::kObject);
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  DECYCLE_CHECK_MSG(!stack_.empty() && stack_.back() == Frame::kObject,
+                    "JSON end_object() without begin_object()");
+  DECYCLE_CHECK_MSG(!have_key_, "JSON object closed with a dangling key");
+  stack_.pop_back();
+  raw("}");
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  raw("[");
+  stack_.push_back(Frame::kArray);
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  DECYCLE_CHECK_MSG(!stack_.empty() && stack_.back() == Frame::kArray,
+                    "JSON end_array() without begin_array()");
+  stack_.pop_back();
+  raw("]");
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  before_value();
+  raw(json_quote(s));
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool b) {
+  before_value();
+  raw(b ? "true" : "false");
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double d) {
+  before_value();
+  raw(json_double(d));
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t u) {
+  before_value();
+  char buf[24];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), u);
+  DECYCLE_CHECK(ec == std::errc());
+  raw(std::string_view(buf, static_cast<std::size_t>(ptr - buf)));
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t i) {
+  before_value();
+  char buf[24];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), i);
+  DECYCLE_CHECK(ec == std::errc());
+  raw(std::string_view(buf, static_cast<std::size_t>(ptr - buf)));
+  need_comma_ = true;
+  return *this;
+}
+
+std::string JsonWriter::str() && {
+  DECYCLE_CHECK_MSG(stack_.empty(), "JSON document finished with open nesting");
+  return std::move(out_);
+}
+
+}  // namespace decycle::lab

@@ -1,0 +1,70 @@
+/// \file json.hpp
+/// \brief Minimal deterministic JSON emitter for lab records.
+///
+/// The lab's acceptance contract is *byte-identical* output for the same
+/// scenario matrix at any thread count, and golden-file diffs in nightly CI.
+/// That rules out locale-dependent iostream formatting: every number goes
+/// through std::to_chars (shortest round-trip form for doubles), keys are
+/// emitted in the order the caller writes them, and there is no whitespace
+/// the caller does not ask for. Not a general JSON library — exactly the
+/// writer the JSONL records in lab/runner.cpp need.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace decycle::lab {
+
+/// Streaming writer with explicit begin/end nesting. Misuse (value without
+/// key inside an object, unbalanced end) throws CheckError.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits the key for the next value. Only valid directly inside an object.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(bool b);
+  JsonWriter& value(double d);
+  JsonWriter& value(std::uint64_t u);
+  JsonWriter& value(std::int64_t i);
+  JsonWriter& value(int i) { return value(static_cast<std::int64_t>(i)); }
+  JsonWriter& value(unsigned u) { return value(static_cast<std::uint64_t>(u)); }
+
+  /// key(k) followed by value(v).
+  template <typename T>
+  JsonWriter& field(std::string_view k, const T& v) {
+    key(k);
+    return value(v);
+  }
+
+  /// Finishes and returns the document. All nesting must be closed.
+  [[nodiscard]] std::string str() &&;
+
+ private:
+  enum class Frame : std::uint8_t { kObject, kArray };
+
+  void before_value();
+  void raw(std::string_view s) { out_.append(s); }
+
+  std::string out_;
+  std::vector<Frame> stack_;
+  bool need_comma_ = false;
+  bool have_key_ = false;
+};
+
+/// JSON string escaping (quotes included in the return value).
+[[nodiscard]] std::string json_quote(std::string_view s);
+
+/// Shortest round-trip decimal form of \p d via std::to_chars; "null" for
+/// non-finite values (which a lab record should never contain).
+[[nodiscard]] std::string json_double(double d);
+
+}  // namespace decycle::lab

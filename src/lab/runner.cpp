@@ -1,0 +1,305 @@
+#include "lab/runner.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <optional>
+#include <ostream>
+
+#include "core/cycle_detector.hpp"
+#include "core/phase1.hpp"
+#include "core/tester.hpp"
+#include "graph/ids.hpp"
+#include "harness/estimator.hpp"
+#include "lab/json.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace decycle::lab {
+
+namespace {
+
+// Seed-stream tags: every random decision of a trial draws from a stream
+// derived from (cell key, trial index, purpose tag), so outcomes are pure
+// functions of the cell content — independent of lanes, threads, and the
+// rest of the matrix.
+constexpr std::uint64_t kGraphTag = 0x67726170685f5f31ULL;  // "graph__1"
+constexpr std::uint64_t kDropTag = 0x64726f705f5f5f31ULL;   // "drop___1"
+constexpr std::uint64_t kEdgeTag = 0x656467655f5f5f31ULL;   // "edge___1"
+
+struct TrialOutcome {
+  bool rejected = false;
+  bool overflow = false;
+  GroundTruth truth = GroundTruth::kUnknown;
+  double certified_epsilon = 0.0;
+  std::uint64_t vertices = 0;
+  std::uint64_t edges = 0;
+  std::uint64_t rounds = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t bits = 0;
+  std::uint64_t max_link_bits = 0;
+  std::uint64_t max_bundle = 0;
+  std::uint64_t dropped = 0;
+};
+
+TrialOutcome run_trial(const ScenarioCell& cell, const BuiltTopology& topo,
+                       congest::Simulator& sim, std::uint64_t trial_seed) {
+  TrialOutcome out;
+  out.truth = topo.truth;
+  out.certified_epsilon = topo.certified_epsilon;
+  out.vertices = topo.graph.num_vertices();
+  out.edges = topo.graph.num_edges();
+  const congest::Simulator::DropFilter drop =
+      make_drop_filter(cell.adversary, util::splitmix64(trial_seed ^ kDropTag));
+
+  if (cell.algo == Algo::kTester) {
+    core::TesterOptions topt;
+    topt.k = cell.k;
+    topt.epsilon = cell.epsilon;
+    topt.seed = trial_seed;
+    topt.repetitions = cell.repetitions;
+    topt.drop = drop;
+    topt.delivery = cell.delivery;
+    const core::TestVerdict verdict = core::test_ck_freeness(sim, topt);
+    out.rejected = !verdict.accepted;
+    out.overflow = verdict.overflow;
+    out.max_bundle = verdict.max_bundle_sequences;
+    out.rounds = verdict.stats.rounds_executed;
+    out.messages = verdict.stats.total_messages;
+    out.bits = verdict.stats.total_bits;
+    out.max_link_bits = verdict.stats.max_link_bits;
+    out.dropped = verdict.stats.dropped_messages;
+    return out;
+  }
+
+  // Edge checker: one uniformly drawn edge per trial (Phase 2 in isolation).
+  DECYCLE_CHECK_MSG(topo.graph.num_edges() > 0,
+                    "edge_checker cell built an edgeless instance (" + cell.key() +
+                        ") — nothing to draw an edge from");
+  util::Rng erng(util::splitmix64(trial_seed ^ kEdgeTag));
+  const graph::EdgeId eid =
+      static_cast<graph::EdgeId>(erng.next_below(topo.graph.num_edges()));
+  core::EdgeDetectionOptions eopt;
+  eopt.detect.k = cell.k;
+  eopt.drop = drop;
+  eopt.delivery = cell.delivery;
+  const core::EdgeDetectionResult result =
+      core::detect_cycle_through_edge(sim, topo.graph.edge(eid), eopt);
+  out.rejected = result.found;
+  out.overflow = result.overflow;
+  out.max_bundle = result.max_bundle_sequences;
+  out.rounds = result.stats.rounds_executed;
+  out.messages = result.stats.total_messages;
+  out.bits = result.stats.total_bits;
+  out.max_link_bits = result.stats.max_link_bits;
+  out.dropped = result.stats.dropped_messages;
+  return out;
+}
+
+}  // namespace
+
+CellResult LabRunner::run_cell(const ScenarioCell& cell) const {
+  DECYCLE_CHECK_MSG(cell.trials >= 1, "cell needs at least one trial");
+  const auto start = std::chrono::steady_clock::now();
+  const std::uint64_t cseed = cell.cell_seed();
+
+  CellResult res;
+  res.cell = cell;
+  res.trials = cell.trials;
+  if (cell.algo == Algo::kTester) {
+    res.repetitions = cell.repetitions != 0 ? cell.repetitions
+                                            : core::recommended_repetitions(cell.epsilon);
+  }
+
+  // Shared-graph policy: one topology per cell, built before the lanes so
+  // every lane sees the same instance.
+  std::optional<BuiltTopology> shared;
+  std::optional<graph::IdAssignment> shared_ids;
+  if (cell.seed_mode == SeedMode::kSharedGraph) {
+    util::Rng grng(util::splitmix64(cseed ^ kGraphTag));
+    shared.emplace(build_topology(cell, grng));
+    shared_ids.emplace(graph::IdAssignment::identity(shared->graph.num_vertices()));
+    res.description = shared->description;
+    res.certified_epsilon = shared->certified_epsilon;
+  } else {
+    res.description = cell.family;
+  }
+
+  // Lanes: contiguous trial ranges, one Simulator per lane (reset between
+  // trials). Outcomes land in a per-trial slot, so nothing downstream can
+  // observe the lane boundaries.
+  std::vector<TrialOutcome> outcomes(cell.trials);
+  util::ThreadPool* pool = options_.pool;
+  const std::size_t lanes = harness::lane_count(pool, cell.trials);
+  const bool reuse = options_.reuse_simulators;
+  const auto run_lane = [&](std::size_t lane) {
+    std::optional<congest::Simulator> lane_sim;
+    if (shared && reuse) lane_sim.emplace(shared->graph, *shared_ids);
+    const auto [begin, end] = harness::lane_range(cell.trials, lane, lanes);
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::uint64_t tseed = harness::trial_seed(cseed, i);
+      if (shared) {
+        if (lane_sim) {
+          outcomes[i] = run_trial(cell, *shared, *lane_sim, tseed);
+        } else {
+          congest::Simulator fresh(shared->graph, *shared_ids);
+          outcomes[i] = run_trial(cell, *shared, fresh, tseed);
+        }
+      } else {
+        util::Rng grng(util::splitmix64(tseed ^ kGraphTag));
+        const BuiltTopology topo = build_topology(cell, grng);
+        const graph::IdAssignment ids =
+            graph::IdAssignment::identity(topo.graph.num_vertices());
+        congest::Simulator fresh(topo.graph, ids);
+        outcomes[i] = run_trial(cell, topo, fresh, tseed);
+      }
+    }
+  };
+  if (lanes > 1) {
+    pool->for_indexed(lanes, run_lane);
+  } else {
+    run_lane(0);
+  }
+
+  // Serial reduction in trial order (sums are integers except the
+  // certificate mean, whose fixed summation order keeps it deterministic).
+  double cert_sum = 0.0;
+  for (const TrialOutcome& t : outcomes) {
+    cert_sum += t.certified_epsilon;
+    res.rejections += t.rejected ? 1 : 0;
+    res.total_vertices += t.vertices;
+    res.total_edges += t.edges;
+    res.rounds_total += t.rounds;
+    res.rounds_max = std::max(res.rounds_max, t.rounds);
+    res.messages_total += t.messages;
+    res.bits_total += t.bits;
+    res.max_link_bits = std::max(res.max_link_bits, t.max_link_bits);
+    res.max_bundle = std::max(res.max_bundle, t.max_bundle);
+    res.overflow_trials += t.overflow ? 1 : 0;
+    res.dropped_total += t.dropped;
+  }
+  // Every trial of a cell runs the same family, so trial 0 speaks for the
+  // cell's ground truth in fresh-graph mode too.
+  res.truth = outcomes.front().truth;
+  if (!shared) res.certified_epsilon = cert_sum / static_cast<double>(cell.trials);
+  res.reject_interval = util::wilson_interval(res.rejections, res.trials);
+  res.soundness_violation = res.truth == GroundTruth::kCkFree && res.rejections > 0;
+  res.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return res;
+}
+
+std::vector<CellResult> LabRunner::run_matrix(std::span<const ScenarioCell> cells) const {
+  std::vector<CellResult> results;
+  results.reserve(cells.size());
+  for (const ScenarioCell& cell : cells) {
+    results.push_back(run_cell(cell));
+    if (options_.progress != nullptr) {
+      const CellResult& r = results.back();
+      *options_.progress << "[" << results.size() << "/" << cells.size() << "] " << r.cell.key()
+                         << " reject_rate=" << json_double(r.reject_interval.estimate)
+                         << (options_.include_timing
+                                 ? " elapsed_s=" + json_double(r.elapsed_seconds)
+                                 : std::string())
+                         << "\n";
+    }
+  }
+  return results;
+}
+
+std::string CellResult::to_json(bool include_timing) const {
+  const double trials_d = static_cast<double>(trials);
+  JsonWriter w;
+  w.begin_object()
+      .field("type", "cell")
+      .field("index", cell.index)
+      .field("family", cell.family)
+      .field("k", cell.k)
+      .field("eps", cell.epsilon)
+      .field("n", cell.n)
+      .field("adversary", cell.adversary.name())
+      .field("algo", algo_name(cell.algo))
+      .field("seed_mode", seed_mode_name(cell.seed_mode))
+      .field("delivery",
+             cell.delivery == congest::DeliveryMode::kArena ? "arena" : "legacy")
+      .field("trials", trials)
+      .field("cell_seed", cell.cell_seed());
+  if (cell.algo == Algo::kTester) w.field("repetitions", repetitions);
+  w.key("graph").begin_object().field("description", description).field(
+      "ground_truth", ground_truth_name(truth));
+  if (cell.seed_mode == SeedMode::kSharedGraph) {
+    w.field("vertices", total_vertices / std::max<std::uint64_t>(trials, 1))
+        .field("edges", total_edges / std::max<std::uint64_t>(trials, 1))
+        .field("certified_eps", certified_epsilon);
+  } else {
+    w.field("mean_vertices", static_cast<double>(total_vertices) / trials_d)
+        .field("mean_edges", static_cast<double>(total_edges) / trials_d)
+        .field("mean_certified_eps", certified_epsilon);
+  }
+  w.end_object();
+  w.field("rejections", rejections)
+      .field("reject_rate", reject_interval.estimate)
+      .field("wilson_low", reject_interval.low)
+      .field("wilson_high", reject_interval.high)
+      .field("rounds_mean", static_cast<double>(rounds_total) / trials_d)
+      .field("rounds_max", rounds_max)
+      .field("messages_total", messages_total)
+      .field("bits_total", bits_total)
+      .field("max_link_bits", max_link_bits)
+      .field("max_bundle", max_bundle)
+      .field("overflow_trials", overflow_trials)
+      .field("dropped_total", dropped_total)
+      .field("soundness_violation", soundness_violation);
+  if (include_timing) w.field("elapsed_s", elapsed_seconds);
+  w.end_object();
+  return std::move(w).str();
+}
+
+std::string meta_record(const ScenarioSpec& spec, std::size_t num_cells) {
+  JsonWriter w;
+  w.begin_object()
+      .field("type", "meta")
+      .field("tool", "decycle_lab")
+      .field("format", 1)
+      .field("seed", spec.seed)
+      .field("trials", spec.trials)
+      .field("reps", spec.repetitions)
+      .field("seed_mode", seed_mode_name(spec.seed_mode))
+      .field("delivery",
+             spec.delivery == congest::DeliveryMode::kArena ? "arena" : "legacy")
+      .field("cells", num_cells);
+  w.key("axes").begin_object();
+  w.key("family").begin_array();
+  for (const auto& f : spec.families) w.value(f);
+  w.end_array();
+  w.key("k").begin_array();
+  for (const unsigned k : spec.ks) w.value(k);
+  w.end_array();
+  w.key("eps").begin_array();
+  for (const double e : spec.epsilons) w.value(e);
+  w.end_array();
+  w.key("n").begin_array();
+  for (const std::uint64_t n : spec.sizes) w.value(n);
+  w.end_array();
+  w.key("adversary").begin_array();
+  for (const auto& a : spec.adversaries) w.value(a.name());
+  w.end_array();
+  w.key("algo").begin_array();
+  for (const Algo a : spec.algos) w.value(algo_name(a));
+  w.end_array();
+  w.end_object();  // axes
+  w.end_object();
+  return std::move(w).str();
+}
+
+std::string matrix_jsonl(const ScenarioSpec& spec, std::span<const CellResult> results,
+                         bool include_timing) {
+  std::string out = meta_record(spec, results.size());
+  out.push_back('\n');
+  for (const CellResult& r : results) {
+    out += r.to_json(include_timing);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace decycle::lab

@@ -1,0 +1,100 @@
+/// \file runner.hpp
+/// \brief Batched execution runtime for scenario matrices.
+///
+/// The runner executes every cell of an expanded matrix: trials are
+/// partitioned into contiguous lanes across the shared ThreadPool, each
+/// lane owns one Simulator that is reset() between trials instead of
+/// rebuilt (the estimator-workload hot path — see DESIGN.md §6), and every
+/// trial's seed is derived from the cell's content key and the trial index
+/// alone. Per-trial outcomes are stored by index and reduced serially, so a
+/// matrix produces byte-identical JSON for any thread count — the property
+/// nightly CI diffs against a golden file.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "lab/scenario.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+
+namespace decycle::lab {
+
+struct LabOptions {
+  util::ThreadPool* pool = nullptr;  ///< trial-level parallelism (lanes)
+  /// Reuse one Simulator per lane via Simulator::reset (shared-graph cells
+  /// only). Off = rebuild per trial; kept togglable so bench/m4_lab_micro
+  /// can measure the reuse win and tests can assert reuse equivalence.
+  bool reuse_simulators = true;
+  /// Adds wall-clock fields to the JSON. Off by default: timing would break
+  /// the byte-identical golden-output contract.
+  bool include_timing = false;
+  std::ostream* progress = nullptr;  ///< optional per-cell progress lines
+};
+
+/// Aggregated outcome of one cell's trials. All aggregates are integer
+/// sums/maxima over per-trial records (doubles derived only at the end), so
+/// they cannot depend on scheduling.
+struct CellResult {
+  ScenarioCell cell;
+
+  // Instance info. For kSharedGraph the exact topology; for kFreshGraph
+  // per-trial topologies summarized by integer totals.
+  std::string description;
+  GroundTruth truth = GroundTruth::kUnknown;
+  std::uint64_t total_vertices = 0;  ///< sum over trials (1 topology: n * trials)
+  std::uint64_t total_edges = 0;
+  double certified_epsilon = 0.0;  ///< shared topology's certificate (0 for fresh mode)
+  std::size_t repetitions = 0;     ///< tester repetitions used (0 for edge_checker)
+
+  std::uint64_t trials = 0;
+  std::uint64_t rejections = 0;
+  util::ProportionInterval reject_interval{0, 0, 1};
+
+  std::uint64_t rounds_total = 0;
+  std::uint64_t rounds_max = 0;
+  std::uint64_t messages_total = 0;
+  std::uint64_t bits_total = 0;
+  std::uint64_t max_link_bits = 0;
+  std::uint64_t max_bundle = 0;  ///< Lemma-3 instrumentation: max |S| broadcast
+  std::uint64_t overflow_trials = 0;
+  std::uint64_t dropped_total = 0;
+  /// True when a provably Ck-free instance produced a rejection — impossible
+  /// while witness validation is on; nightly asserts it stays false.
+  bool soundness_violation = false;
+
+  double elapsed_seconds = 0.0;  ///< wall clock (reported only with include_timing)
+
+  /// One JSONL record (no trailing newline).
+  [[nodiscard]] std::string to_json(bool include_timing) const;
+};
+
+class LabRunner {
+ public:
+  explicit LabRunner(const LabOptions& options = {}) : options_(options) {}
+
+  /// Runs one cell's trials (lanes across the pool, Simulator reuse within
+  /// a lane).
+  [[nodiscard]] CellResult run_cell(const ScenarioCell& cell) const;
+
+  /// Runs every cell in order.
+  [[nodiscard]] std::vector<CellResult> run_matrix(std::span<const ScenarioCell> cells) const;
+
+  [[nodiscard]] const LabOptions& options() const noexcept { return options_; }
+
+ private:
+  LabOptions options_;
+};
+
+/// The leading JSONL meta record for a matrix run (no trailing newline).
+[[nodiscard]] std::string meta_record(const ScenarioSpec& spec, std::size_t num_cells);
+
+/// Full JSONL document: meta record + one record per cell, one per line,
+/// trailing newline at the end.
+[[nodiscard]] std::string matrix_jsonl(const ScenarioSpec& spec,
+                                       std::span<const CellResult> results, bool include_timing);
+
+}  // namespace decycle::lab

@@ -1,0 +1,579 @@
+#include "lab/scenario.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <numeric>
+
+#include "graph/far_generators.hpp"
+#include "graph/generators.hpp"
+#include "lab/json.hpp"
+#include "util/check.hpp"
+
+namespace decycle::lab {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& msg) { DECYCLE_CHECK_MSG(false, msg); }
+
+std::string known_family_list() {
+  std::string out;
+  for (const FamilyInfo& info : known_families()) {
+    if (!out.empty()) out += ", ";
+    out += info.name;
+  }
+  return out;
+}
+
+// --- token-level parsing helpers -----------------------------------------
+
+std::vector<std::string> split_commas(std::string_view value) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= value.size()) {
+    const std::size_t comma = value.find(',', start);
+    const std::string_view piece =
+        value.substr(start, comma == std::string_view::npos ? comma : comma - start);
+    out.emplace_back(piece);
+    if (comma == std::string_view::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+std::uint64_t parse_u64(std::string_view key, std::string_view piece) {
+  std::uint64_t out = 0;
+  const auto [ptr, ec] = std::from_chars(piece.data(), piece.data() + piece.size(), out);
+  if (ec != std::errc() || ptr != piece.data() + piece.size()) {
+    fail("scenario key '" + std::string(key) + "': expected unsigned integer, got '" +
+         std::string(piece) + "'");
+  }
+  return out;
+}
+
+double parse_double(std::string_view key, std::string_view piece) {
+  double out = 0;
+  const auto [ptr, ec] = std::from_chars(piece.data(), piece.data() + piece.size(), out);
+  if (ec != std::errc() || ptr != piece.data() + piece.size()) {
+    fail("scenario key '" + std::string(key) + "': expected number, got '" + std::string(piece) +
+         "'");
+  }
+  return out;
+}
+
+/// Integer axis values: comma list whose pieces may be `a..b` or `a..b:step`
+/// inclusive arithmetic ranges.
+std::vector<std::uint64_t> parse_u64_axis(std::string_view key, std::string_view value) {
+  std::vector<std::uint64_t> out;
+  for (const std::string& piece : split_commas(value)) {
+    const std::size_t dots = piece.find("..");
+    if (dots == std::string::npos) {
+      out.push_back(parse_u64(key, piece));
+      continue;
+    }
+    const std::uint64_t lo = parse_u64(key, std::string_view(piece).substr(0, dots));
+    std::string_view rest = std::string_view(piece).substr(dots + 2);
+    std::uint64_t step = 1;
+    if (const std::size_t colon = rest.find(':'); colon != std::string_view::npos) {
+      step = parse_u64(key, rest.substr(colon + 1));
+      rest = rest.substr(0, colon);
+    }
+    const std::uint64_t hi = parse_u64(key, rest);
+    if (step == 0) fail("scenario key '" + std::string(key) + "': range step must be positive");
+    if (lo > hi) {
+      fail("scenario key '" + std::string(key) + "': range " + std::string(piece) +
+           " is empty (lo > hi)");
+    }
+    for (std::uint64_t v = lo; v <= hi; v += step) {
+      out.push_back(v);
+      if (hi - v < step) break;  // overflow guard
+    }
+  }
+  if (out.empty()) fail("scenario key '" + std::string(key) + "': no values");
+  return out;
+}
+
+std::vector<double> parse_double_axis(std::string_view key, std::string_view value) {
+  std::vector<double> out;
+  for (const std::string& piece : split_commas(value)) out.push_back(parse_double(key, piece));
+  return out;
+}
+
+// --- graph family registry -----------------------------------------------
+
+struct FamilyEntry {
+  FamilyInfo info;
+  /// Empty string = buildable; otherwise the reason it is not.
+  std::string (*validate)(unsigned k, std::uint64_t n);
+  BuiltTopology (*build)(const ScenarioCell& cell, util::Rng& rng);
+};
+
+std::string no_constraint(unsigned, std::uint64_t) { return {}; }
+
+graph::Vertex as_vertex(std::uint64_t n) { return static_cast<graph::Vertex>(n); }
+
+BuiltTopology from_far(graph::FarInstance inst) {
+  BuiltTopology out;
+  out.certified_epsilon = inst.certified_epsilon();
+  out.description = std::move(inst.description);
+  out.graph = std::move(inst.graph);
+  out.truth = GroundTruth::kFar;
+  return out;
+}
+
+BuiltTopology from_ck_free(graph::CkFreeFamily family, const ScenarioCell& cell, util::Rng& rng) {
+  BuiltTopology out;
+  out.graph = graph::ck_free_instance(family, cell.k, as_vertex(cell.n), rng);
+  out.description = std::string(graph::family_name(family));
+  out.truth = GroundTruth::kCkFree;
+  return out;
+}
+
+/// Smallest s >= wanted with gcd(s, k-1) == 1 (layered_instance requires
+/// coprimality so the shifted cycles stay edge-disjoint).
+graph::Vertex coprime_layer_size(std::uint64_t wanted, unsigned k) {
+  std::uint64_t s = std::max<std::uint64_t>(wanted, 2);
+  while (std::gcd(s, static_cast<std::uint64_t>(k - 1)) != 1) ++s;
+  return as_vertex(s);
+}
+
+constexpr FamilyEntry kFamilies[] = {
+    {{"cycle", "the single cycle C_n (contains Ck iff n == k)"},
+     [](unsigned, std::uint64_t n) {
+       return n >= 3 ? std::string{} : std::string("needs n >= 3");
+     },
+     [](const ScenarioCell& cell, util::Rng&) {
+       BuiltTopology out;
+       out.graph = graph::cycle(as_vertex(cell.n));
+       out.description = "cycle";
+       out.truth = cell.n == cell.k ? GroundTruth::kHasCk : GroundTruth::kCkFree;
+       return out;
+     }},
+    {{"path", "the path P_n (acyclic)"},
+     [](unsigned, std::uint64_t n) {
+       return n >= 2 ? std::string{} : std::string("needs n >= 2");
+     },
+     [](const ScenarioCell& cell, util::Rng&) {
+       BuiltTopology out;
+       out.graph = graph::path(as_vertex(cell.n));
+       out.description = "path";
+       out.truth = GroundTruth::kCkFree;
+       return out;
+     }},
+    {{"wheel", "hub + rim: contains Ck for every 3 <= k < n"},
+     [](unsigned, std::uint64_t n) {
+       return n >= 4 ? std::string{} : std::string("needs n >= 4");
+     },
+     [](const ScenarioCell& cell, util::Rng&) {
+       BuiltTopology out;
+       out.graph = graph::wheel(as_vertex(cell.n));
+       out.description = "wheel";
+       out.truth = cell.k < cell.n ? GroundTruth::kHasCk : GroundTruth::kUnknown;
+       return out;
+     }},
+    {{"complete", "K_n (dense stress; contains Ck for k <= n)"},
+     [](unsigned, std::uint64_t n) {
+       if (n < 3) return std::string("needs n >= 3");
+       if (n > 4096) return std::string("n > 4096 would build a >8M-edge clique");
+       return std::string{};
+     },
+     [](const ScenarioCell& cell, util::Rng&) {
+       BuiltTopology out;
+       out.graph = graph::complete(as_vertex(cell.n));
+       out.description = "complete";
+       out.truth = cell.k <= cell.n ? GroundTruth::kHasCk : GroundTruth::kCkFree;
+       return out;
+     }},
+    {{"grid", "n x n grid (bipartite: odd-k free; contains C4..)"},
+     [](unsigned, std::uint64_t n) {
+       if (n < 2) return std::string("needs side n >= 2");
+       if (n > 65535) return std::string("side n > 65535 would overflow n*n 32-bit vertices");
+       return std::string{};
+     },
+     [](const ScenarioCell& cell, util::Rng&) {
+       BuiltTopology out;
+       out.graph = graph::grid(as_vertex(cell.n), as_vertex(cell.n));
+       out.description = "grid";
+       out.truth = cell.k % 2 == 1 ? GroundTruth::kCkFree
+                                   : (cell.k <= 2 * (cell.n - 1) + 2 ? GroundTruth::kHasCk
+                                                                     : GroundTruth::kUnknown);
+       return out;
+     }},
+    {{"hypercube", "d-dimensional hypercube, n = dimension (bipartite)"},
+     [](unsigned, std::uint64_t n) {
+       if (n < 1) return std::string("needs dimension n >= 1");
+       if (n > 20) return std::string("dimension n > 20 would build >1M vertices");
+       return std::string{};
+     },
+     [](const ScenarioCell& cell, util::Rng&) {
+       BuiltTopology out;
+       out.graph = graph::hypercube(static_cast<unsigned>(cell.n));
+       out.description = "hypercube";
+       out.truth = cell.k % 2 == 1 ? GroundTruth::kCkFree
+                                   : (cell.n >= 2 && cell.k <= (std::uint64_t{1} << cell.n)
+                                          ? GroundTruth::kHasCk
+                                          : GroundTruth::kUnknown);
+       return out;
+     }},
+    {{"tree", "uniform random labelled tree (acyclic)"}, no_constraint,
+     [](const ScenarioCell& cell, util::Rng& rng) {
+       BuiltTopology out;
+       out.graph = graph::random_tree(as_vertex(std::max<std::uint64_t>(cell.n, 1)), rng);
+       out.description = "random tree";
+       out.truth = GroundTruth::kCkFree;
+       return out;
+     }},
+    {{"gnm", "Erdos-Renyi G(n, m) with m = 2n edges"},
+     [](unsigned, std::uint64_t n) {
+       return n >= 5 ? std::string{} : std::string("needs n >= 5 so m = 2n fits");
+     },
+     [](const ScenarioCell& cell, util::Rng& rng) {
+       BuiltTopology out;
+       out.graph = graph::erdos_renyi_gnm(as_vertex(cell.n), 2 * cell.n, rng);
+       out.description = "G(n,2n)";
+       return out;
+     }},
+    {{"regular", "random 4-regular graph (configuration model)"},
+     [](unsigned, std::uint64_t n) {
+       return n >= 6 ? std::string{} : std::string("needs n >= 6 for degree 4");
+     },
+     [](const ScenarioCell& cell, util::Rng& rng) {
+       BuiltTopology out;
+       out.graph = graph::random_regular(as_vertex(cell.n), 4, rng);
+       out.description = "4-regular";
+       return out;
+     }},
+    {{"planted", "max(1, n/k) vertex-disjoint planted k-cycles, bridged (certified far)"},
+     no_constraint,
+     [](const ScenarioCell& cell, util::Rng& rng) {
+       graph::PlantedOptions opt;
+       opt.k = cell.k;
+       opt.num_cycles = std::max<std::size_t>(1, cell.n / cell.k);
+       return from_far(graph::planted_cycles_instance(opt, rng));
+     }},
+    {{"noisy", "planted k-cycles inside a girth-(>k) background (certified far)"},
+     [](unsigned k, std::uint64_t n) {
+       return n >= 2 * std::uint64_t{k}
+                  ? std::string{}
+                  : std::string("needs n >= 2k for the high-girth background");
+     },
+     [](const ScenarioCell& cell, util::Rng& rng) {
+       graph::NoisyFarOptions opt;
+       opt.k = cell.k;
+       opt.num_cycles = std::max<std::size_t>(1, cell.n / 16);
+       opt.background_n = as_vertex(cell.n);
+       opt.background_m = 2 * cell.n;
+       return from_far(graph::noisy_far_instance(opt, rng));
+     }},
+    {{"layered", "Behrend-substitute: shifted layer cycles, every vertex on 2 cycles"},
+     no_constraint,
+     [](const ScenarioCell& cell, util::Rng& rng) {
+       return from_far(
+           graph::layered_instance(cell.k, coprime_layer_size(cell.n, cell.k), 2, rng));
+     }},
+    {{"ckfree_forest", "random forest (soundness family)"},
+     [](unsigned, std::uint64_t n) {
+       return n >= 4 ? std::string{} : std::string("needs n >= 4");
+     },
+     [](const ScenarioCell& cell, util::Rng& rng) {
+       return from_ck_free(graph::CkFreeFamily::kForest, cell, rng);
+     }},
+    {{"ckfree_bipartite", "bipartite instance — Ck-free for odd k only"},
+     [](unsigned k, std::uint64_t n) {
+       if (n < 4) return std::string("needs n >= 4");
+       if (k % 2 == 0) return std::string("Ck-free only for odd k (bipartite graphs have C" +
+                                          std::to_string(k) + ")");
+       return std::string{};
+     },
+     [](const ScenarioCell& cell, util::Rng& rng) {
+       return from_ck_free(graph::CkFreeFamily::kBipartite, cell, rng);
+     }},
+    {{"ckfree_highgirth", "random graph with girth > k (soundness family)"},
+     [](unsigned, std::uint64_t n) {
+       return n >= 4 ? std::string{} : std::string("needs n >= 4");
+     },
+     [](const ScenarioCell& cell, util::Rng& rng) {
+       return from_ck_free(graph::CkFreeFamily::kHighGirth, cell, rng);
+     }},
+    {{"ckfree_blowup", "disjoint K_{k-1} cliques + bridges (max cycle length k-1)"},
+     [](unsigned k, std::uint64_t n) {
+       if (n < 4) return std::string("needs n >= 4");
+       if (k < 4) return std::string("needs k >= 4 (K_{k-1} must contain a cycle-free bound)");
+       return std::string{};
+     },
+     [](const ScenarioCell& cell, util::Rng& rng) {
+       return from_ck_free(graph::CkFreeFamily::kCliqueBlowup, cell, rng);
+     }},
+};
+
+const FamilyEntry* find_family(std::string_view name) {
+  for (const FamilyEntry& entry : kFamilies) {
+    if (entry.info.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::span<const FamilyInfo> known_families() {
+  static const std::vector<FamilyInfo> infos = [] {
+    std::vector<FamilyInfo> out;
+    for (const FamilyEntry& entry : kFamilies) out.push_back(entry.info);
+    return out;
+  }();
+  return infos;
+}
+
+namespace {
+
+std::string validate_entry(const FamilyEntry* entry, std::string_view family, unsigned k,
+                           std::uint64_t n) {
+  if (entry == nullptr) {
+    return "unknown graph family '" + std::string(family) + "' (known: " + known_family_list() +
+           ")";
+  }
+  std::string err = entry->validate(k, n);
+  if (!err.empty()) {
+    err = "family '" + std::string(family) + "' with k=" + std::to_string(k) +
+          " n=" + std::to_string(n) + ": " + err;
+  }
+  return err;
+}
+
+}  // namespace
+
+std::string validate_family(std::string_view family, unsigned k, std::uint64_t n) {
+  return validate_entry(find_family(family), family, k, n);
+}
+
+BuiltTopology build_topology(const ScenarioCell& cell, util::Rng& rng) {
+  const FamilyEntry* entry = find_family(cell.family);
+  const std::string err = validate_entry(entry, cell.family, cell.k, cell.n);
+  if (!err.empty()) fail(err);
+  return entry->build(cell, rng);
+}
+
+std::string_view ground_truth_name(GroundTruth t) noexcept {
+  switch (t) {
+    case GroundTruth::kCkFree: return "ck_free";
+    case GroundTruth::kHasCk: return "has_ck";
+    case GroundTruth::kFar: return "far";
+    case GroundTruth::kUnknown: return "unknown";
+  }
+  return "unknown";
+}
+
+std::string_view algo_name(Algo a) noexcept {
+  return a == Algo::kTester ? "tester" : "edge_checker";
+}
+
+std::string_view seed_mode_name(SeedMode m) noexcept {
+  return m == SeedMode::kSharedGraph ? "shared" : "fresh";
+}
+
+std::string AdversarySpec::name() const {
+  switch (kind) {
+    case Kind::kNone: return "none";
+    case Kind::kUniform: return "uniform:" + json_double(rate);
+    case Kind::kOneWay: return "oneway:" + json_double(rate);
+    case Kind::kLate: return "late:" + json_double(rate);
+  }
+  return "none";
+}
+
+AdversarySpec parse_adversary(std::string_view token) {
+  AdversarySpec spec;
+  std::string_view name = token;
+  std::string_view rate_str;
+  const std::size_t colon = token.find(':');
+  if (colon != std::string_view::npos) {
+    name = token.substr(0, colon);
+    rate_str = token.substr(colon + 1);
+  }
+  if (name == "none") {
+    if (colon != std::string_view::npos) {
+      fail("adversary 'none' takes no rate (got '" + std::string(token) + "')");
+    }
+    return spec;
+  }
+  if (name == "uniform") {
+    spec.kind = AdversarySpec::Kind::kUniform;
+  } else if (name == "oneway") {
+    spec.kind = AdversarySpec::Kind::kOneWay;
+  } else if (name == "late") {
+    spec.kind = AdversarySpec::Kind::kLate;
+  } else {
+    fail("unknown adversary '" + std::string(name) + "' (known: none, uniform:R, oneway:R, late:R)");
+  }
+  if (rate_str.empty()) {
+    fail("adversary '" + std::string(name) + "' needs a drop rate, e.g. " + std::string(name) +
+         ":0.2");
+  }
+  spec.rate = parse_double("adversary", rate_str);
+  if (spec.rate < 0.0 || spec.rate > 1.0) {
+    fail("adversary drop rate must be in [0, 1], got " + std::string(rate_str));
+  }
+  return spec;
+}
+
+congest::Simulator::DropFilter make_drop_filter(const AdversarySpec& spec, std::uint64_t seed) {
+  if (spec.kind == AdversarySpec::Kind::kNone || spec.rate <= 0.0) return nullptr;
+  const AdversarySpec::Kind kind = spec.kind;
+  const double rate = spec.rate;
+  // Stateless per-(round, from, to) coin — deterministic, thread-safe, pure.
+  return [kind, rate, seed](std::uint64_t round, graph::Vertex from, graph::Vertex to) {
+    if (kind == AdversarySpec::Kind::kOneWay && from > to) return false;
+    if (kind == AdversarySpec::Kind::kLate && round < 2) return false;
+    std::uint64_t h = util::splitmix64(seed ^ util::splitmix64(round));
+    h = util::splitmix64(h ^ from);
+    h = util::splitmix64(h ^ to);
+    return static_cast<double>(h >> 11) * 0x1.0p-53 < rate;
+  };
+}
+
+std::string ScenarioCell::key() const {
+  std::string out = "family=" + family;
+  out += " k=" + std::to_string(k);
+  out += " eps=" + json_double(epsilon);
+  out += " n=" + std::to_string(n);
+  out += " adversary=" + adversary.name();
+  out += " algo=" + std::string(algo_name(algo));
+  return out;
+}
+
+std::uint64_t ScenarioCell::cell_seed() const {
+  const std::string id = key();
+  std::uint64_t h = util::splitmix64(base_seed ^ 0x6c61625f63656c6cULL);  // "lab_cell"
+  for (const char c : id) h = util::splitmix64(h ^ static_cast<unsigned char>(c));
+  return h;
+}
+
+ScenarioSpec ScenarioSpec::parse(std::span<const std::pair<std::string, std::string>> pairs) {
+  ScenarioSpec spec;
+  for (const auto& [key, value] : pairs) {
+    if (key == "family") {
+      spec.families = split_commas(value);
+      for (const std::string& name : spec.families) {
+        if (find_family(name) == nullptr) {
+          fail("unknown graph family '" + name + "' (known: " + known_family_list() + ")");
+        }
+      }
+    } else if (key == "k") {
+      spec.ks.clear();
+      for (const std::uint64_t v : parse_u64_axis(key, value)) {
+        if (v < 3) fail("scenario key 'k': cycle length must be >= 3, got " + std::to_string(v));
+        if (v > 64) fail("scenario key 'k': cycle length must be <= 64, got " + std::to_string(v));
+        spec.ks.push_back(static_cast<unsigned>(v));
+      }
+    } else if (key == "eps") {
+      spec.epsilons = parse_double_axis(key, value);
+      for (const double e : spec.epsilons) {
+        if (!(e > 0.0 && e <= 1.0)) {
+          fail("scenario key 'eps': epsilon must be in (0, 1], got " + json_double(e));
+        }
+      }
+    } else if (key == "n") {
+      spec.sizes = parse_u64_axis(key, value);
+      for (const std::uint64_t v : spec.sizes) {
+        if (v == 0) fail("scenario key 'n': size must be positive");
+        // Builders take 32-bit Vertex; a silent narrowing would build a
+        // different instance than the JSON record claims.
+        if (v >= 0xFFFFFFFFULL) {
+          fail("scenario key 'n': " + std::to_string(v) + " does not fit a 32-bit vertex id");
+        }
+      }
+    } else if (key == "adversary") {
+      spec.adversaries.clear();
+      for (const std::string& token : split_commas(value)) {
+        spec.adversaries.push_back(parse_adversary(token));
+      }
+    } else if (key == "algo") {
+      spec.algos.clear();
+      for (const std::string& token : split_commas(value)) {
+        if (token == "tester") {
+          spec.algos.push_back(Algo::kTester);
+        } else if (token == "edge_checker") {
+          spec.algos.push_back(Algo::kEdgeChecker);
+        } else {
+          fail("scenario key 'algo': unknown algorithm '" + token +
+               "' (known: tester, edge_checker)");
+        }
+      }
+    } else if (key == "trials") {
+      spec.trials = parse_u64(key, value);
+      if (spec.trials == 0) fail("scenario key 'trials': need at least one trial");
+    } else if (key == "seed") {
+      spec.seed = parse_u64(key, value);
+    } else if (key == "reps") {
+      spec.repetitions = parse_u64(key, value);
+    } else if (key == "seed_mode") {
+      if (value == "shared") {
+        spec.seed_mode = SeedMode::kSharedGraph;
+      } else if (value == "fresh") {
+        spec.seed_mode = SeedMode::kFreshGraph;
+      } else {
+        fail("scenario key 'seed_mode': expected shared or fresh, got '" + value + "'");
+      }
+    } else if (key == "delivery") {
+      if (value == "arena") {
+        spec.delivery = congest::DeliveryMode::kArena;
+      } else if (value == "legacy") {
+        spec.delivery = congest::DeliveryMode::kLegacy;
+      } else {
+        fail("scenario key 'delivery': expected arena or legacy, got '" + value + "'");
+      }
+    } else {
+      fail("unknown scenario key '" + key +
+           "' (axes: family, k, eps, n, adversary, algo; scalars: trials, seed, reps, "
+           "seed_mode, delivery)");
+    }
+  }
+  return spec;
+}
+
+ScenarioSpec ScenarioSpec::parse_tokens(const std::vector<std::string>& tokens) {
+  std::vector<std::pair<std::string, std::string>> pairs;
+  pairs.reserve(tokens.size());
+  for (const std::string& token : tokens) {
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      fail("scenario token '" + token + "' is not of the form key=value");
+    }
+    pairs.emplace_back(token.substr(0, eq), token.substr(eq + 1));
+  }
+  return parse(pairs);
+}
+
+std::vector<ScenarioCell> ScenarioSpec::expand() const {
+  std::vector<ScenarioCell> cells;
+  for (const std::string& family : families) {
+    for (const unsigned k : ks) {
+      for (const double eps : epsilons) {
+        for (const std::uint64_t n : sizes) {
+          const std::string err = validate_family(family, k, n);
+          if (!err.empty()) fail("scenario matrix contains an unbuildable cell: " + err);
+          for (const AdversarySpec& adversary : adversaries) {
+            for (const Algo algo : algos) {
+              ScenarioCell cell;
+              cell.index = cells.size();
+              cell.family = family;
+              cell.k = k;
+              cell.epsilon = eps;
+              cell.n = n;
+              cell.adversary = adversary;
+              cell.algo = algo;
+              cell.seed_mode = seed_mode;
+              cell.delivery = delivery;
+              cell.trials = trials;
+              cell.base_seed = seed;
+              cell.repetitions = repetitions;
+              cells.push_back(std::move(cell));
+            }
+          }
+        }
+      }
+    }
+  }
+  return cells;
+}
+
+}  // namespace decycle::lab

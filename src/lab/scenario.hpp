@@ -1,0 +1,153 @@
+/// \file scenario.hpp
+/// \brief Declarative scenario matrix for the lab runner.
+///
+/// A scenario spec names axes (graph family × k × ε × size × adversary ×
+/// algorithm) and shared scalars (trials, seed policy, repetitions). Axes
+/// are parsed from `key=value` tokens — comma lists (`k=3,5,7`) and integer
+/// ranges (`n=32..128:32`) — the way Theorem 1's experiments sweep their
+/// instances; expand() takes the cross product into a flat list of fully
+/// instantiated cells. Unknown keys, unknown family names, and out-of-range
+/// values are rejected at parse time with messages that name the offender
+/// and the accepted alternatives, so a typo'd matrix never silently runs
+/// the default workload.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "congest/simulator.hpp"
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace decycle::lab {
+
+/// Which algorithm a cell exercises: the full Theorem-1 tester or the
+/// deterministic single-edge checker (Phase 2 in isolation) on an edge
+/// drawn per trial.
+enum class Algo : std::uint8_t { kTester, kEdgeChecker };
+
+/// Seed policy. kSharedGraph builds one topology per cell (graph seed
+/// derived from the cell, trials vary only the algorithm seed) — this is
+/// what enables Simulator reuse. kFreshGraph rebuilds the topology from
+/// each trial's seed.
+enum class SeedMode : std::uint8_t { kSharedGraph, kFreshGraph };
+
+/// A named message-loss adversary with its drop probability.
+struct AdversarySpec {
+  enum class Kind : std::uint8_t {
+    kNone,     ///< lossless network
+    kUniform,  ///< iid per-message drop with probability rate
+    kOneWay,   ///< drops only lower->higher vertex messages, probability rate
+    kLate,     ///< drops only messages sent at rounds >= 2 (Phase-2 traffic)
+  };
+  Kind kind = Kind::kNone;
+  double rate = 0.0;
+
+  [[nodiscard]] std::string name() const;  ///< canonical token, e.g. "uniform:0.25"
+};
+
+/// What is provably known about a built instance, recorded in the JSON so
+/// nightly runs can assert soundness (no rejection on kCkFree cells).
+enum class GroundTruth : std::uint8_t { kCkFree, kHasCk, kFar, kUnknown };
+
+[[nodiscard]] std::string_view ground_truth_name(GroundTruth t) noexcept;
+
+/// One fully instantiated point of the matrix.
+struct ScenarioCell {
+  std::size_t index = 0;  ///< position in expansion order
+  std::string family = "planted";
+  unsigned k = 5;
+  double epsilon = 0.1;
+  std::uint64_t n = 64;  ///< family size parameter (vertices, or dimension for hypercube)
+  AdversarySpec adversary;
+  Algo algo = Algo::kTester;
+
+  // Shared scalars, copied from the spec for self-contained execution.
+  SeedMode seed_mode = SeedMode::kSharedGraph;
+  congest::DeliveryMode delivery = congest::DeliveryMode::kArena;
+  std::size_t trials = 32;
+  std::uint64_t base_seed = 1;
+  std::size_t repetitions = 0;  ///< 0 = recommended_repetitions(epsilon)
+
+  /// Canonical content key, e.g. "family=planted k=5 eps=0.1 n=64
+  /// adversary=none algo=tester". Cell seeds are derived from this, so a
+  /// cell's results are invariant under adding or reordering other axis
+  /// values.
+  [[nodiscard]] std::string key() const;
+
+  /// Deterministic 64-bit seed folded from base_seed and key().
+  [[nodiscard]] std::uint64_t cell_seed() const;
+};
+
+/// The parsed matrix: axes plus shared scalars.
+struct ScenarioSpec {
+  std::vector<std::string> families = {"planted"};
+  std::vector<unsigned> ks = {5};
+  std::vector<double> epsilons = {0.1};
+  std::vector<std::uint64_t> sizes = {64};
+  std::vector<AdversarySpec> adversaries = {{}};
+  std::vector<Algo> algos = {Algo::kTester};
+
+  SeedMode seed_mode = SeedMode::kSharedGraph;
+  congest::DeliveryMode delivery = congest::DeliveryMode::kArena;
+  std::size_t trials = 32;
+  std::uint64_t seed = 1;
+  std::size_t repetitions = 0;
+
+  /// Parses `key=value` pairs (axis keys: family, k, eps, n, adversary,
+  /// algo; scalar keys: trials, seed, reps, seed_mode, delivery). Throws
+  /// CheckError naming the offending key/value and the accepted options.
+  [[nodiscard]] static ScenarioSpec parse(
+      std::span<const std::pair<std::string, std::string>> pairs);
+
+  /// Convenience overload for "key=value" tokens (tests, scripts).
+  [[nodiscard]] static ScenarioSpec parse_tokens(const std::vector<std::string>& tokens);
+
+  /// Cross product in fixed nesting order family > k > eps > n > adversary
+  /// > algo (algo fastest). Validates every (family, k, n) combination —
+  /// e.g. ckfree_bipartite requires odd k — and throws on invalid cells.
+  [[nodiscard]] std::vector<ScenarioCell> expand() const;
+};
+
+[[nodiscard]] std::string_view algo_name(Algo a) noexcept;
+[[nodiscard]] std::string_view seed_mode_name(SeedMode m) noexcept;
+
+/// A topology built for one cell (or one fresh-graph trial).
+struct BuiltTopology {
+  graph::Graph graph;
+  double certified_epsilon = 0.0;  ///< 0 when the family carries no certificate
+  std::string description;
+  GroundTruth truth = GroundTruth::kUnknown;
+};
+
+/// Registry of named graph families (drawn from graph/generators.cpp and
+/// graph/far_generators.cpp).
+struct FamilyInfo {
+  std::string_view name;
+  std::string_view summary;
+};
+[[nodiscard]] std::span<const FamilyInfo> known_families();
+
+/// Empty string when (family, k, n) is buildable; otherwise a message
+/// explaining why not (unknown family names the known ones).
+[[nodiscard]] std::string validate_family(std::string_view family, unsigned k, std::uint64_t n);
+
+/// Builds the instance for \p cell. All randomness comes from \p rng.
+/// Throws CheckError when validate_family would return an error.
+[[nodiscard]] BuiltTopology build_topology(const ScenarioCell& cell, util::Rng& rng);
+
+/// Parses an adversary token (`none`, `uniform:0.2`, `oneway:0.5`,
+/// `late:0.3`); throws CheckError on unknown names or rates outside [0,1].
+[[nodiscard]] AdversarySpec parse_adversary(std::string_view token);
+
+/// Stateless deterministic drop filter implementing \p spec; pure in
+/// (round, from, to) given \p seed, so runs stay bit-reproducible and the
+/// filter is safe to call from concurrent delivery shards.
+[[nodiscard]] congest::Simulator::DropFilter make_drop_filter(const AdversarySpec& spec,
+                                                              std::uint64_t seed);
+
+}  // namespace decycle::lab

@@ -14,11 +14,14 @@ Args::Args(int argc, const char* const* argv) {
                       "arguments must look like --key=value, got: " + std::string(arg));
     const std::string_view body = arg.substr(2);
     const std::size_t eq = body.find('=');
-    if (eq == std::string_view::npos) {
-      values_.emplace(std::string(body), "1");
-    } else {
-      values_.emplace(std::string(body.substr(0, eq)), std::string(body.substr(eq + 1)));
-    }
+    const auto [it, inserted] =
+        eq == std::string_view::npos
+            ? values_.emplace(std::string(body), "1")
+            : values_.emplace(std::string(body.substr(0, eq)), std::string(body.substr(eq + 1)));
+    // A silently dropped repeat would run a different workload than the
+    // command line reads (e.g. --k=4 --k=5 keeping only k=4).
+    DECYCLE_CHECK_MSG(inserted, "duplicate argument --" + it->first +
+                                    " (use a comma list for multiple values)");
   }
 }
 
@@ -79,6 +82,18 @@ std::string Args::get_string(std::string_view key, std::string_view fallback) co
 }
 
 bool Args::has(std::string_view key) const { return lookup(key).has_value(); }
+
+std::vector<std::pair<std::string, std::string>> Args::take_unconsumed() const {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const auto& [key, value] : values_) {
+    const auto it = used_.find(key);
+    if (it == used_.end() || !it->second) {
+      out.emplace_back(key, value);
+      used_[key] = true;
+    }
+  }
+  return out;
+}
 
 std::vector<std::string> Args::unused() const {
   std::vector<std::string> out;

@@ -12,6 +12,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace decycle::util {
@@ -34,6 +35,12 @@ class Args {
   /// Keys that were provided but never read — call at the end of main to
   /// reject typos. Returns empty vector when everything was consumed.
   [[nodiscard]] std::vector<std::string> unused() const;
+
+  /// Key=value pairs not read so far, in key order, marked as consumed.
+  /// Lets a binary peel off its own flags and forward the rest to a second
+  /// parser that owns the error reporting (decycle_lab forwards these as
+  /// scenario-matrix tokens).
+  [[nodiscard]] std::vector<std::pair<std::string, std::string>> take_unconsumed() const;
 
   /// Convenience: throws if unused() is non-empty.
   void reject_unknown() const;

@@ -430,5 +430,97 @@ TEST(Simulator, NullProgramRejected) {
                util::CheckError);
 }
 
+// --- Simulator reuse (reset) -----------------------------------------------
+
+RunOutcome run_gossip_on(Simulator& sim, const Graph& g, util::ThreadPool* pool,
+                         DeliveryMode mode, bool with_drops) {
+  sim.reset([](Vertex) { return std::make_unique<GossipProgram>(); });
+  Simulator::Options opt;
+  opt.pool = pool;
+  opt.parallel_threshold = 1;
+  opt.record_rounds = true;
+  opt.delivery = mode;
+  if (with_drops) {
+    const Vertex n = g.num_vertices();
+    opt.drop = [n](std::uint64_t round, Vertex from, Vertex to) {
+      return util::splitmix64(round * n + from * 31 + to) % 5 == 0;
+    };
+  }
+  RunOutcome out;
+  out.stats = sim.run(opt);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    out.transcripts.push_back(static_cast<const GossipProgram&>(sim.program(v)).transcript_);
+  }
+  return out;
+}
+
+/// The Simulator::reset contract (DESIGN.md §6): a reset-then-run on a
+/// reused simulator is bit-identical to a fresh-build run — same RunStats
+/// (incl. per-round records) and inbox transcripts — across thread counts,
+/// delivery modes, and the drop adversary, even when the reused simulator
+/// previously ran a *different* configuration (stale arenas, stale wheel).
+TEST(Simulator, ResetRunMatchesFreshBuild) {
+  util::Rng rng(7);  // same stream as DeterminismAcrossThreadCountsAndAdversary
+  const Graph g = graph::random_regular(60, 6, rng);
+  util::Rng id_rng(22);
+  const IdAssignment ids = IdAssignment::shuffled(g.num_vertices(), id_rng);
+  util::ThreadPool pool8(8);
+
+  Simulator reused(g, ids);  // topology-only construction
+  // Dirty the reusable state with an unrelated run first.
+  reused.reset([](Vertex) { return std::make_unique<EchoProgram>(); });
+  (void)reused.run();
+
+  for (util::ThreadPool* pool : {static_cast<util::ThreadPool*>(nullptr), &pool8}) {
+    for (const DeliveryMode mode : {DeliveryMode::kArena, DeliveryMode::kLegacy}) {
+      for (const bool drops : {false, true}) {
+        const std::string label = std::string(pool ? "8 threads" : "1 thread") +
+                                  (mode == DeliveryMode::kArena ? " arena" : " legacy") +
+                                  (drops ? " drops" : "");
+        const RunOutcome fresh = run_gossip(g, ids, pool, mode, drops);
+        const RunOutcome reset_run = run_gossip_on(reused, g, pool, mode, drops);
+        expect_identical(reset_run, fresh, label);
+      }
+    }
+  }
+}
+
+/// Back-to-back reset trials on one simulator must not interfere: the same
+/// program config gives the same outcome on every repeat.
+TEST(Simulator, RepeatedResetTrialsAreIndependent) {
+  const Graph g = graph::grid(7, 7);
+  const IdAssignment ids = IdAssignment::identity(g.num_vertices());
+  Simulator sim(g, ids);
+  const RunOutcome first = run_gossip_on(sim, g, nullptr, DeliveryMode::kArena, false);
+  for (int i = 0; i < 3; ++i) {
+    const RunOutcome again = run_gossip_on(sim, g, nullptr, DeliveryMode::kArena, false);
+    expect_identical(again, first, "repeat " + std::to_string(i));
+  }
+}
+
+TEST(Simulator, TopologyOnlyConstructionRequiresReset) {
+  const Graph g = graph::path(3);
+  const IdAssignment ids = IdAssignment::identity(3);
+  Simulator sim(g, ids);
+  EXPECT_THROW((void)sim.run(), util::CheckError);
+  sim.reset([](Vertex) { return std::make_unique<EchoProgram>(); });
+  const RunStats stats = sim.run();
+  EXPECT_TRUE(stats.halted);
+  EXPECT_EQ(stats.total_messages, 4u);
+}
+
+TEST(Simulator, ResetRejectsNullPrograms) {
+  const Graph g = graph::path(2);
+  const IdAssignment ids = IdAssignment::identity(2);
+  Simulator sim(g, ids);
+  EXPECT_THROW(sim.reset([](Vertex) { return std::unique_ptr<NodeProgram>{}; }),
+               util::CheckError);
+  // A failed reset must fall back to the needs-reset state (run refuses),
+  // not leave half-programmed nulls behind; a later good reset recovers.
+  EXPECT_THROW((void)sim.run(), util::CheckError);
+  sim.reset([](Vertex) { return std::make_unique<EchoProgram>(); });
+  EXPECT_TRUE(sim.run().halted);
+}
+
 }  // namespace
 }  // namespace decycle::congest

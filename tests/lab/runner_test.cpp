@@ -1,0 +1,162 @@
+#include "lab/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "lab/json.hpp"
+#include "lab/scenario.hpp"
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace decycle::lab {
+namespace {
+
+std::string run_matrix_jsonl(const std::vector<std::string>& tokens, util::ThreadPool* pool,
+                             bool reuse) {
+  const ScenarioSpec spec = ScenarioSpec::parse_tokens(tokens);
+  LabOptions opts;
+  opts.pool = pool;
+  opts.reuse_simulators = reuse;
+  const LabRunner runner(opts);
+  const auto results = runner.run_matrix(spec.expand());
+  return matrix_jsonl(spec, results, /*include_timing=*/false);
+}
+
+// The acceptance-criterion matrix: families with opposite ground truths,
+// both algorithms, and a lossy adversary, kept small enough for CI.
+const std::vector<std::string> kMatrix = {
+    "family=planted,ckfree_highgirth", "k=4,5",       "n=20",
+    "eps=0.15",                        "trials=10",   "seed=33",
+    "algo=tester,edge_checker",        "adversary=none,uniform:0.3"};
+
+/// The lab determinism contract: byte-identical JSON for the same matrix at
+/// 1 and 8 threads, and with simulator reuse on or off.
+TEST(LabRunner, ByteIdenticalAcrossThreadsAndReuse) {
+  const std::string serial = run_matrix_jsonl(kMatrix, nullptr, true);
+  util::ThreadPool pool8(8);
+  EXPECT_EQ(serial, run_matrix_jsonl(kMatrix, &pool8, true)) << "8 threads changed the bytes";
+  EXPECT_EQ(serial, run_matrix_jsonl(kMatrix, &pool8, false))
+      << "disabling Simulator reuse changed the bytes";
+  util::ThreadPool pool3(3);
+  EXPECT_EQ(serial, run_matrix_jsonl(kMatrix, &pool3, true)) << "3 threads changed the bytes";
+}
+
+TEST(LabRunner, FreshGraphModeIsDeterministicToo) {
+  const std::vector<std::string> tokens = {"family=planted", "k=5",       "n=20",
+                                           "eps=0.15",       "trials=8",  "seed=5",
+                                           "seed_mode=fresh"};
+  const std::string serial = run_matrix_jsonl(tokens, nullptr, true);
+  util::ThreadPool pool8(8);
+  EXPECT_EQ(serial, run_matrix_jsonl(tokens, &pool8, true));
+  EXPECT_NE(serial.find("\"seed_mode\":\"fresh\""), std::string::npos);
+  EXPECT_NE(serial.find("mean_vertices"), std::string::npos);
+}
+
+TEST(LabRunner, SoundnessHoldsOnCkFreeCells) {
+  const ScenarioSpec spec = ScenarioSpec::parse_tokens(
+      {"family=ckfree_forest,ckfree_highgirth", "k=4,5", "n=24", "trials=12", "seed=11"});
+  const LabRunner runner{LabOptions{}};
+  for (const CellResult& res : runner.run_matrix(spec.expand())) {
+    EXPECT_EQ(res.truth, GroundTruth::kCkFree) << res.cell.key();
+    EXPECT_EQ(res.rejections, 0u) << res.cell.key();
+    EXPECT_FALSE(res.soundness_violation);
+    EXPECT_EQ(res.reject_interval.estimate, 0.0);
+  }
+}
+
+TEST(LabRunner, DetectsPlantedCyclesAtTheoremRate) {
+  // eps below the planted certificate (4 cycles / 23 edges ~ 0.17), so
+  // Theorem 1's >= 2/3 detection bound applies.
+  const ScenarioSpec spec =
+      ScenarioSpec::parse_tokens({"family=planted", "k=5", "n=20", "eps=0.15", "trials=24",
+                                  "seed=99"});
+  const LabRunner runner{LabOptions{}};
+  const auto results = runner.run_matrix(spec.expand());
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].truth, GroundTruth::kFar);
+  EXPECT_GT(results[0].certified_epsilon, 0.15);
+  EXPECT_GE(results[0].reject_interval.estimate, 2.0 / 3.0);
+  EXPECT_GT(results[0].repetitions, 0u);
+  EXPECT_GE(results[0].max_bundle, 1u);  // Lemma-3 instrumentation flows through
+}
+
+TEST(LabRunner, EdgeCheckerFindsCyclesOnWheel) {
+  // Every wheel edge lies on a triangle through the hub, so the
+  // deterministic checker with k=3 must fire on every trial.
+  const ScenarioSpec spec = ScenarioSpec::parse_tokens(
+      {"family=wheel", "k=3", "n=16", "trials=10", "seed=3", "algo=edge_checker"});
+  const LabRunner runner{LabOptions{}};
+  const auto results = runner.run_matrix(spec.expand());
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].rejections, 10u);
+  EXPECT_EQ(results[0].repetitions, 0u);  // edge checker has no repetitions
+}
+
+TEST(LabRunner, AdversaryDropsAreCountedAndSoundnessSurvives) {
+  const ScenarioSpec spec = ScenarioSpec::parse_tokens(
+      {"family=ckfree_highgirth", "k=5", "n=24", "trials=6", "seed=8",
+       "adversary=uniform:0.5"});
+  const LabRunner runner{LabOptions{}};
+  const auto results = runner.run_matrix(spec.expand());
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_GT(results[0].dropped_total, 0u);
+  EXPECT_EQ(results[0].rejections, 0u);  // loss can only suppress detections
+}
+
+TEST(LabRunner, LegacyDeliveryAgreesWithArena) {
+  const std::vector<std::string> base = {"family=planted", "k=4", "n=16", "eps=0.2",
+                                         "trials=6",       "seed=21"};
+  std::vector<std::string> legacy = base;
+  legacy.push_back("delivery=legacy");
+  const std::string a = run_matrix_jsonl(base, nullptr, true);
+  const std::string b = run_matrix_jsonl(legacy, nullptr, true);
+  // Identical up to the delivery tag: swap it and compare bytes.
+  std::string b_normalized = b;
+  const std::string from = "\"delivery\":\"legacy\"";
+  const std::string to = "\"delivery\":\"arena\"";
+  for (std::size_t pos = 0; (pos = b_normalized.find(from, pos)) != std::string::npos;) {
+    b_normalized.replace(pos, from.size(), to);
+    pos += to.size();
+  }
+  EXPECT_EQ(a, b_normalized);
+}
+
+TEST(LabRunner, EdgeCheckerOnEdgelessInstanceFailsLoudly) {
+  // tree with n=1 builds a 0-edge graph; drawing an edge from it must be a
+  // clear error, not an out-of-bounds read.
+  const ScenarioSpec spec = ScenarioSpec::parse_tokens(
+      {"family=tree", "k=4", "n=1", "trials=2", "algo=edge_checker"});
+  const LabRunner runner{LabOptions{}};
+  EXPECT_THROW((void)runner.run_matrix(spec.expand()), util::CheckError);
+}
+
+TEST(LabRunner, MetaRecordEchoesTheSpec) {
+  const ScenarioSpec spec = ScenarioSpec::parse_tokens(
+      {"family=cycle", "k=3,4", "n=8", "eps=0.5", "trials=2", "seed=77"});
+  const std::string meta = meta_record(spec, spec.expand().size());
+  EXPECT_EQ(meta,
+            "{\"type\":\"meta\",\"tool\":\"decycle_lab\",\"format\":1,\"seed\":77,"
+            "\"trials\":2,\"reps\":0,\"seed_mode\":\"shared\",\"delivery\":\"arena\","
+            "\"cells\":2,\"axes\":{\"family\":[\"cycle\"],\"k\":[3,4],\"eps\":[0.5],"
+            "\"n\":[8],\"adversary\":[\"none\"],\"algo\":[\"tester\"]}}");
+}
+
+TEST(JsonWriter, EscapesAndFormats) {
+  JsonWriter w;
+  w.begin_object()
+      .field("s", "a\"b\\c\nd")
+      .field("f", 0.125)
+      .field("neg", std::int64_t{-3})
+      .field("flag", true);
+  w.key("arr").begin_array().value(1u).value(2u).end_array();
+  w.end_object();
+  EXPECT_EQ(std::move(w).str(),
+            "{\"s\":\"a\\\"b\\\\c\\nd\",\"f\":0.125,\"neg\":-3,\"flag\":true,"
+            "\"arr\":[1,2]}");
+  EXPECT_EQ(json_double(0.1), "0.1");  // shortest round-trip form
+}
+
+}  // namespace
+}  // namespace decycle::lab

@@ -1,0 +1,186 @@
+#include "lab/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace decycle::lab {
+namespace {
+
+/// Parses tokens and returns the CheckError message (empty = no throw).
+std::string parse_error(std::vector<std::string> tokens) {
+  try {
+    (void)ScenarioSpec::parse_tokens(tokens);
+  } catch (const util::CheckError& e) {
+    return e.what();
+  }
+  return {};
+}
+
+TEST(ScenarioSpec, DefaultsAreRunnable) {
+  const ScenarioSpec spec = ScenarioSpec::parse_tokens({});
+  const auto cells = spec.expand();
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].family, "planted");
+  EXPECT_EQ(cells[0].k, 5u);
+  EXPECT_EQ(cells[0].algo, Algo::kTester);
+}
+
+TEST(ScenarioSpec, CommaListsAndRangesExpand) {
+  const std::vector<std::string> tokens = {"family=cycle,planted", "k=3,5", "n=8..16:4",
+                                           "eps=0.1,0.2", "trials=7"};
+  const ScenarioSpec spec = ScenarioSpec::parse_tokens(tokens);
+  EXPECT_EQ(spec.sizes, (std::vector<std::uint64_t>{8, 12, 16}));
+  const auto cells = spec.expand();
+  // 2 families x 2 k x 2 eps x 3 n = 24 cells, indexes sequential.
+  ASSERT_EQ(cells.size(), 24u);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(cells[i].index, i);
+    EXPECT_EQ(cells[i].trials, 7u);
+  }
+  // Fixed nesting order: family outermost, algo innermost.
+  EXPECT_EQ(cells[0].family, "cycle");
+  EXPECT_EQ(cells[12].family, "planted");
+  EXPECT_EQ(cells[0].k, 3u);
+  EXPECT_EQ(cells[6].k, 5u);
+}
+
+TEST(ScenarioSpec, RangeWithoutStepAndSingletons) {
+  const ScenarioSpec spec = ScenarioSpec::parse_tokens({"n=3..5", "k=4"});
+  EXPECT_EQ(spec.sizes, (std::vector<std::uint64_t>{3, 4, 5}));
+  EXPECT_EQ(spec.ks, (std::vector<unsigned>{4}));
+}
+
+TEST(ScenarioSpec, UnknownKeyNamesItselfAndTheAlternatives) {
+  const std::string err = parse_error({"famly=cycle"});
+  EXPECT_NE(err.find("unknown scenario key 'famly'"), std::string::npos) << err;
+  EXPECT_NE(err.find("family"), std::string::npos) << err;
+}
+
+TEST(ScenarioSpec, UnknownFamilyListsKnownOnes) {
+  const std::string err = parse_error({"family=petersen"});
+  EXPECT_NE(err.find("unknown graph family 'petersen'"), std::string::npos) << err;
+  EXPECT_NE(err.find("planted"), std::string::npos) << err;
+  EXPECT_NE(err.find("ckfree_highgirth"), std::string::npos) << err;
+}
+
+TEST(ScenarioSpec, BadValuesAreRejectedWithClearMessages) {
+  EXPECT_NE(parse_error({"k=abc"}).find("expected unsigned integer"), std::string::npos);
+  EXPECT_NE(parse_error({"k=2"}).find("must be >= 3"), std::string::npos);
+  EXPECT_NE(parse_error({"eps=0"}).find("(0, 1]"), std::string::npos);
+  EXPECT_NE(parse_error({"eps=1.5"}).find("(0, 1]"), std::string::npos);
+  EXPECT_NE(parse_error({"trials=0"}).find("at least one trial"), std::string::npos);
+  EXPECT_NE(parse_error({"n=0"}).find("positive"), std::string::npos);
+  EXPECT_NE(parse_error({"algo=quantum"}).find("unknown algorithm 'quantum'"),
+            std::string::npos);
+  EXPECT_NE(parse_error({"seed_mode=both"}).find("shared or fresh"), std::string::npos);
+  EXPECT_NE(parse_error({"delivery=warp"}).find("arena or legacy"), std::string::npos);
+}
+
+TEST(ScenarioSpec, RejectsSizesBeyondVertexWidth) {
+  // Builders take 32-bit Vertex ids; truncation would silently build a
+  // different instance than the JSON record claims.
+  EXPECT_NE(parse_error({"n=4294967299"}).find("does not fit a 32-bit vertex id"),
+            std::string::npos);
+  EXPECT_NE(validate_family("grid", 4, 70000).find("overflow"), std::string::npos);
+}
+
+TEST(ScenarioSpec, BadRangesAreRejected) {
+  EXPECT_NE(parse_error({"n=9..3"}).find("empty (lo > hi)"), std::string::npos);
+  EXPECT_NE(parse_error({"n=3..9:0"}).find("step must be positive"), std::string::npos);
+}
+
+TEST(ScenarioSpec, TokensMustBeKeyValue) {
+  EXPECT_NE(parse_error({"--family"}).find("not of the form key=value"), std::string::npos);
+}
+
+TEST(ScenarioSpec, ExpandRejectsUnbuildableCells) {
+  // ckfree_bipartite is only Ck-free for odd k; the matrix must refuse the
+  // k=4 cell loudly instead of running a meaningless soundness experiment.
+  const ScenarioSpec spec = ScenarioSpec::parse_tokens({"family=ckfree_bipartite", "k=4,5"});
+  try {
+    (void)spec.expand();
+    FAIL() << "expected CheckError";
+  } catch (const util::CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("odd k"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Adversary, ParseAndValidate) {
+  EXPECT_EQ(parse_adversary("none").kind, AdversarySpec::Kind::kNone);
+  const AdversarySpec uni = parse_adversary("uniform:0.25");
+  EXPECT_EQ(uni.kind, AdversarySpec::Kind::kUniform);
+  EXPECT_DOUBLE_EQ(uni.rate, 0.25);
+  EXPECT_EQ(uni.name(), "uniform:0.25");
+  EXPECT_EQ(parse_adversary("oneway:0.5").kind, AdversarySpec::Kind::kOneWay);
+  EXPECT_EQ(parse_adversary("late:1").kind, AdversarySpec::Kind::kLate);
+
+  EXPECT_THROW((void)parse_adversary("gamma:0.1"), util::CheckError);
+  EXPECT_THROW((void)parse_adversary("uniform"), util::CheckError);
+  EXPECT_THROW((void)parse_adversary("uniform:1.5"), util::CheckError);
+  EXPECT_THROW((void)parse_adversary("none:0.1"), util::CheckError);
+  EXPECT_THROW((void)parse_adversary("none:"), util::CheckError);  // truncated token, still loud
+}
+
+TEST(Adversary, DropFilterIsPureAndRespectsKind) {
+  const auto filter = make_drop_filter(parse_adversary("late:1"), 99);
+  ASSERT_TRUE(filter != nullptr);
+  EXPECT_FALSE(filter(0, 1, 2));  // early rounds protected
+  EXPECT_FALSE(filter(1, 1, 2));
+  EXPECT_TRUE(filter(2, 1, 2));  // rate 1: every late message drops
+  EXPECT_EQ(filter(5, 3, 4), filter(5, 3, 4));  // pure
+
+  const auto oneway = make_drop_filter(parse_adversary("oneway:1"), 99);
+  EXPECT_TRUE(oneway(0, 1, 2));
+  EXPECT_FALSE(oneway(0, 2, 1));  // higher -> lower never dropped
+
+  EXPECT_TRUE(make_drop_filter(AdversarySpec{}, 1) == nullptr);  // none: no filter at all
+}
+
+TEST(ScenarioCell, SeedIsContentAddressed) {
+  const ScenarioSpec one = ScenarioSpec::parse_tokens({"family=cycle", "k=5", "n=10"});
+  const ScenarioSpec many =
+      ScenarioSpec::parse_tokens({"family=path,cycle", "k=4,5", "n=10"});
+  const auto cells_one = one.expand();
+  const auto cells_many = many.expand();
+  // The cycle/k=5 cell keeps its seed when other axis values are added, so
+  // growing a matrix never silently reshuffles existing cells' trials.
+  const ScenarioCell* same = nullptr;
+  for (const ScenarioCell& c : cells_many) {
+    if (c.family == "cycle" && c.k == 5) same = &c;
+  }
+  ASSERT_NE(same, nullptr);
+  EXPECT_EQ(cells_one[0].cell_seed(), same->cell_seed());
+  EXPECT_NE(cells_one[0].cell_seed(), cells_many[0].cell_seed());
+}
+
+TEST(FamilyRegistry, BuildsEveryFamilyAndHonorsGroundTruth) {
+  for (const FamilyInfo& info : known_families()) {
+    ScenarioCell cell;
+    cell.family = std::string(info.name);
+    cell.k = 5;
+    cell.n = info.name == "hypercube" ? 4 : 24;
+    ASSERT_EQ(validate_family(cell.family, cell.k, cell.n), "") << info.name;
+    util::Rng rng(3);
+    const BuiltTopology topo = build_topology(cell, rng);
+    EXPECT_GE(topo.graph.num_vertices(), 2u) << info.name;
+    if (topo.truth == GroundTruth::kFar) {
+      EXPECT_GT(topo.certified_epsilon, 0.0) << info.name;
+    }
+  }
+}
+
+TEST(FamilyRegistry, ValidateExplainsConstraints) {
+  EXPECT_NE(validate_family("cycle", 5, 2).find("n >= 3"), std::string::npos);
+  EXPECT_NE(validate_family("regular", 5, 4).find("n >= 6"), std::string::npos);
+  EXPECT_NE(validate_family("hypercube", 5, 30).find("n > 20"), std::string::npos);
+  EXPECT_NE(validate_family("noisy", 8, 10).find("2k"), std::string::npos);
+  EXPECT_NE(validate_family("nope", 5, 10).find("unknown graph family"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace decycle::lab

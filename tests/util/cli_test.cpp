@@ -84,5 +84,26 @@ TEST(Args, HasChecksPresence) {
   EXPECT_FALSE(args.has("y"));
 }
 
+TEST(Args, RejectsDuplicateKeys) {
+  // A silently dropped repeat (--k=4 --k=5 keeping only k=4) would run a
+  // different workload than the command line reads.
+  EXPECT_THROW(make_args({"--k=4", "--k=5"}), CheckError);
+  EXPECT_THROW(make_args({"--flag", "--flag"}), CheckError);
+}
+
+TEST(Args, TakeUnconsumedForwardsAndConsumes) {
+  const Args args = make_args({"--out=lab.jsonl", "--family=cycle,planted", "--k=3..7:2"});
+  (void)args.get_string("out", "");  // the binary's own flag
+  const auto forwarded = args.take_unconsumed();
+  ASSERT_EQ(forwarded.size(), 2u);  // key order: family before k
+  EXPECT_EQ(forwarded[0].first, "family");
+  EXPECT_EQ(forwarded[0].second, "cycle,planted");
+  EXPECT_EQ(forwarded[1].first, "k");
+  EXPECT_EQ(forwarded[1].second, "3..7:2");
+  // Forwarded keys count as consumed: a second parser owns their errors.
+  EXPECT_NO_THROW(args.reject_unknown());
+  EXPECT_TRUE(args.take_unconsumed().empty());
+}
+
 }  // namespace
 }  // namespace decycle::util

@@ -1,0 +1,84 @@
+/// \file decycle_lab.cpp
+/// \brief Scenario-matrix lab runner CLI.
+///
+/// Sweeps graph families × k × ε × sizes × adversaries × algorithms and
+/// emits one JSONL record per cell (meta record first). Output is
+/// byte-identical for any --threads value — nightly CI diffs it against a
+/// checked-in golden file (ci/golden/).
+///
+/// Example:
+///   decycle_lab --family=planted,ckfree_highgirth --k=4,5 --n=24,48 \
+///               --eps=0.125 --trials=24 --seed=2026 --threads=8
+///
+/// Runner flags (everything else is forwarded to the scenario parser):
+///   --threads=N   trial-level worker threads (0 = serial, default)
+///   --out=FILE    write JSONL to FILE instead of stdout
+///   --reuse=0|1   Simulator reuse across trials (default 1)
+///   --timing=0|1  add wall-clock fields (breaks golden diffs; default 0)
+///   --progress    per-cell progress lines on stderr
+///   --list        print the known graph families and exit
+#include <fstream>
+#include <iostream>
+#include <memory>
+
+#include "lab/runner.hpp"
+#include "lab/scenario.hpp"
+#include "util/check.hpp"
+#include "util/cli.hpp"
+#include "util/thread_pool.hpp"
+
+int main(int argc, char** argv) {
+  using namespace decycle;
+  try {
+    const util::Args args(argc, argv);
+    if (args.get_bool("list", false)) {
+      for (const lab::FamilyInfo& info : lab::known_families()) {
+        std::cout << info.name << " — " << info.summary << "\n";
+      }
+      return 0;
+    }
+    const std::uint64_t threads = args.get_u64("threads", 0);
+    const std::string out_path = args.get_string("out", "");
+    const bool reuse = args.get_bool("reuse", true);
+    const bool timing = args.get_bool("timing", false);
+    const bool progress = args.get_bool("progress", false);
+
+    // Everything not consumed above is a scenario token; unknown-key errors
+    // belong to the scenario parser, which names the accepted keys.
+    const auto scenario_pairs = args.take_unconsumed();
+    const lab::ScenarioSpec spec = lab::ScenarioSpec::parse(scenario_pairs);
+    const std::vector<lab::ScenarioCell> cells = spec.expand();
+
+    std::unique_ptr<util::ThreadPool> pool;
+    if (threads > 0) pool = std::make_unique<util::ThreadPool>(threads);
+
+    lab::LabOptions opts;
+    opts.pool = pool.get();
+    opts.reuse_simulators = reuse;
+    opts.include_timing = timing;
+    opts.progress = progress ? &std::cerr : nullptr;
+
+    const lab::LabRunner runner(opts);
+    const std::vector<lab::CellResult> results = runner.run_matrix(cells);
+    const std::string doc = lab::matrix_jsonl(spec, results, timing);
+
+    if (out_path.empty()) {
+      std::cout << doc;
+    } else {
+      std::ofstream out(out_path, std::ios::binary);
+      DECYCLE_CHECK_MSG(out.good(), "cannot open --out file: " + out_path);
+      out << doc;
+      out.flush();
+      DECYCLE_CHECK_MSG(out.good(), "failed writing --out file (disk full?): " + out_path);
+    }
+    return 0;
+  } catch (const util::CheckError& e) {
+    std::cerr << "decycle_lab: " << e.what() << "\n";
+    return 2;
+  } catch (const std::exception& e) {
+    // bad_alloc on a huge matrix, system_error from thread creation, ...:
+    // still a loud diagnostic and a controlled exit, never SIGABRT.
+    std::cerr << "decycle_lab: " << e.what() << "\n";
+    return 3;
+  }
+}
