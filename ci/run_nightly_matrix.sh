@@ -16,7 +16,9 @@ exec "${BUILD_DIR}/decycle_lab" \
   --n=24 \
   --eps=0.125 \
   --adversary=none,uniform:0.25 \
-  --algo=tester,edge_checker \
+  --algo=tester,edge_checker,threshold \
+  --budget=8 \
+  --track=4 \
   --trials=12 \
   --seed=2026 \
   --threads="${THREADS}"

@@ -16,7 +16,10 @@ std::uint64_t rank_range_for(std::uint64_t n) noexcept {
 }
 
 std::uint64_t draw_rank(util::Rng& rng, std::uint64_t range) noexcept {
-  return rng.next_in(1, range);
+  // Written as 1 + [0, range) rather than next_in(1, range) so the ">= 1"
+  // post-condition (no collision with kRankMissing) is visible in the
+  // expression itself; the two forms draw identical values.
+  return 1 + rng.next_below(range);
 }
 
 bool unique_min_rank_trial(std::size_t m, util::Rng& rng) {

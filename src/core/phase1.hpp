@@ -37,7 +37,14 @@ struct EdgePriority {
 /// Rank range used by the distributed tester: min(n⁴, 2⁶²), saturating.
 [[nodiscard]] std::uint64_t rank_range_for(std::uint64_t n) noexcept;
 
-/// Uniform rank in [1, range].
+/// The "no rank received" sentinel stored per port between the rank round
+/// and the selection round. draw_rank can never produce it (it returns
+/// values >= 1 by construction), so a legitimately drawn minimum rank is
+/// always distinguishable from a lost rank message. Regression-pinned in
+/// tests/core/phase1_test.cpp and tests/core/tester_test.cpp.
+inline constexpr std::uint64_t kRankMissing = 0;
+
+/// Uniform rank in [1, range] — strictly greater than kRankMissing.
 [[nodiscard]] std::uint64_t draw_rank(util::Rng& rng, std::uint64_t range) noexcept;
 
 /// One Lemma 5 trial: draws m ranks from [1, m²] and reports whether the

@@ -46,7 +46,7 @@ void TesterProgram::start_repetition(congest::Context& ctx, std::size_t rep) {
   // Fresh per-repetition state.
   current_.reset();
   state_.reset();
-  port_rank_.assign(ctx.degree(), 0);
+  port_rank_.assign(ctx.degree(), kRankMissing);
 
   // Deterministic per-(seed, repetition, node) stream; draws happen in port
   // order, so the rank of each edge is independent of scheduling.
@@ -86,10 +86,12 @@ void TesterProgram::select_and_seed(congest::Context& ctx,
   // Minimum-(rank, u, v) incident edge (Phase 1 selection). A rank can be
   // missing if the owner's rank message was lost (fault experiments); such
   // edges are simply not candidates here — the owner side still seeds them,
-  // and soundness never depends on delivery.
+  // and soundness never depends on delivery. draw_rank never returns
+  // kRankMissing, so a legitimately drawn minimum rank is never mistaken
+  // for a lost message.
   std::optional<EdgePriority> best;
   for (std::uint32_t port = 0; port < ctx.degree(); ++port) {
-    if (port_rank_[port] == 0) continue;
+    if (port_rank_[port] == kRankMissing) continue;
     const NodeId other = ctx.neighbor_id(port);
     const EdgePriority ep{port_rank_[port], std::min(my_id_, other), std::max(my_id_, other)};
     if (!best || ep < *best) best = ep;
@@ -205,9 +207,16 @@ TestVerdict test_ck_freeness(congest::Simulator& sim, const TesterOptions& optio
   sim_options.record_rounds = options.record_rounds;
   sim_options.drop = options.drop;
   sim_options.delivery = options.delivery;
+  // Round budget audit: each repetition occupies exactly rep_len =
+  // ⌊k/2⌋+2 rounds (phase 0 ranks, phase 1 selection, ⌊k/2⌋ Phase-2
+  // rounds), so the last possible activity is round
+  // repetitions·rep_len − 1; the +4 is delivery slack. A run that fails to
+  // quiesce under this cap was truncated mid-Phase-2 — surfaced via
+  // TestVerdict::truncated rather than silently under-reporting.
   sim_options.max_rounds =
       verdict.repetitions * (static_cast<std::uint64_t>(options.k / 2) + 2) + 4;
   verdict.stats = sim.run(sim_options);
+  verdict.truncated = !verdict.stats.halted;
 
   sim.for_each_program<TesterProgram>([&](graph::Vertex vert, const TesterProgram& prog) {
     verdict.overflow = verdict.overflow || prog.overflowed();

@@ -100,6 +100,12 @@ struct TestVerdict {
   std::vector<graph::Vertex> witness;   ///< validated cycle when rejected
   std::size_t repetitions = 0;
   bool overflow = false;
+  /// True when the run hit the internal max_rounds cap instead of
+  /// quiescing — i.e. the final repetition's Phase 2 was cut short and the
+  /// verdict under-reports detections. The cap is derived from
+  /// (repetitions, k) with slack, so this firing indicates a bound bug;
+  /// tests assert it stays false at the boundary (reps = 1, large k).
+  bool truncated = false;
   std::size_t max_bundle_sequences = 0;
   std::size_t total_switches = 0;
   std::size_t total_discarded = 0;

@@ -28,6 +28,13 @@ RateEstimate estimate_rate(const std::function<bool(std::size_t, std::uint64_t)>
 
 RateEstimate estimate_rate_lanes(const LaneFactory& make_lane, std::size_t trials,
                                  std::uint64_t base_seed, util::ThreadPool* pool) {
+  if (trials == 0) {
+    // Nothing to run: in particular make_lane is never invoked, so callers
+    // don't pay for per-lane state (a Simulator build) they won't use.
+    RateEstimate empty;
+    empty.interval = util::wilson_interval(0, 0);
+    return empty;
+  }
   const std::size_t lanes = lane_count(pool, trials);
   // Per-trial outcomes are stored by index and reduced serially, so the
   // estimate cannot depend on lane boundaries or scheduling.
@@ -39,7 +46,10 @@ RateEstimate estimate_rate_lanes(const LaneFactory& make_lane, std::size_t trial
       outcome[i] = trial(i, trial_seed(base_seed, i)) ? 1 : 0;
     }
   };
-  if (lanes > 1) {
+  // lane_count never reports more than one lane without a pool, but the
+  // dispatch below re-checks the pointer so a future lane policy can't
+  // turn a serial call into a null deref.
+  if (pool != nullptr && lanes > 1) {
     pool->for_indexed(lanes, run_lane);
   } else {
     run_lane(0);

@@ -8,6 +8,7 @@
 #include "core/cycle_detector.hpp"
 #include "core/phase1.hpp"
 #include "core/tester.hpp"
+#include "core/threshold/threshold_tester.hpp"
 #include "graph/ids.hpp"
 #include "harness/estimator.hpp"
 #include "lab/json.hpp"
@@ -39,6 +40,8 @@ struct TrialOutcome {
   std::uint64_t max_link_bits = 0;
   std::uint64_t max_bundle = 0;
   std::uint64_t dropped = 0;
+  bool truncated = false;
+  core::threshold::ThresholdStats threshold;  ///< zero for non-threshold algos
 };
 
 TrialOutcome run_trial(const ScenarioCell& cell, const BuiltTopology& topo,
@@ -62,12 +65,37 @@ TrialOutcome run_trial(const ScenarioCell& cell, const BuiltTopology& topo,
     const core::TestVerdict verdict = core::test_ck_freeness(sim, topt);
     out.rejected = !verdict.accepted;
     out.overflow = verdict.overflow;
+    out.truncated = verdict.truncated;
     out.max_bundle = verdict.max_bundle_sequences;
     out.rounds = verdict.stats.rounds_executed;
     out.messages = verdict.stats.total_messages;
     out.bits = verdict.stats.total_bits;
     out.max_link_bits = verdict.stats.max_link_bits;
     out.dropped = verdict.stats.dropped_messages;
+    return out;
+  }
+
+  if (cell.algo == Algo::kThreshold) {
+    core::threshold::ThresholdOptions topt;
+    topt.k = cell.k;
+    topt.seed = trial_seed;
+    topt.sweeps = cell.repetitions != 0 ? cell.repetitions : 1;
+    topt.budget = cell.budget;
+    topt.max_tracked = cell.track;
+    topt.drop = drop;
+    topt.delivery = cell.delivery;
+    const core::threshold::ThresholdVerdict tv =
+        core::threshold::test_ck_freeness_threshold(sim, topt);
+    out.rejected = !tv.verdict.accepted;
+    out.overflow = tv.verdict.overflow;
+    out.truncated = tv.verdict.truncated;
+    out.max_bundle = tv.verdict.max_bundle_sequences;
+    out.rounds = tv.verdict.stats.rounds_executed;
+    out.messages = tv.verdict.stats.total_messages;
+    out.bits = tv.verdict.stats.total_bits;
+    out.max_link_bits = tv.verdict.stats.max_link_bits;
+    out.dropped = tv.verdict.stats.dropped_messages;
+    out.threshold = tv.threshold;
     return out;
   }
 
@@ -86,6 +114,7 @@ TrialOutcome run_trial(const ScenarioCell& cell, const BuiltTopology& topo,
       core::detect_cycle_through_edge(sim, topo.graph.edge(eid), eopt);
   out.rejected = result.found;
   out.overflow = result.overflow;
+  out.truncated = !result.stats.halted;
   out.max_bundle = result.max_bundle_sequences;
   out.rounds = result.stats.rounds_executed;
   out.messages = result.stats.total_messages;
@@ -108,6 +137,8 @@ CellResult LabRunner::run_cell(const ScenarioCell& cell) const {
   if (cell.algo == Algo::kTester) {
     res.repetitions = cell.repetitions != 0 ? cell.repetitions
                                             : core::recommended_repetitions(cell.epsilon);
+  } else if (cell.algo == Algo::kThreshold) {
+    res.repetitions = cell.repetitions != 0 ? cell.repetitions : 1;  // sweeps
   }
 
   // Shared-graph policy: one topology per cell, built before the lanes so
@@ -176,6 +207,13 @@ CellResult LabRunner::run_cell(const ScenarioCell& cell) const {
     res.max_bundle = std::max(res.max_bundle, t.max_bundle);
     res.overflow_trials += t.overflow ? 1 : 0;
     res.dropped_total += t.dropped;
+    res.truncated_trials += t.truncated ? 1 : 0;
+    res.seeded_total += t.threshold.seeded_executions;
+    res.seed_capped_total += t.threshold.seed_capped;
+    res.evictions_total += t.threshold.evictions;
+    res.discarded_seqs_total += t.threshold.discarded_sequences;
+    res.budget_truncated_total += t.threshold.budget_truncated;
+    res.peak_tracked = std::max<std::uint64_t>(res.peak_tracked, t.threshold.peak_tracked);
   }
   // Every trial of a cell runs the same family, so trial 0 speaks for the
   // cell's ground truth in fresh-graph mode too.
@@ -223,7 +261,10 @@ std::string CellResult::to_json(bool include_timing) const {
              cell.delivery == congest::DeliveryMode::kArena ? "arena" : "legacy")
       .field("trials", trials)
       .field("cell_seed", cell.cell_seed());
-  if (cell.algo == Algo::kTester) w.field("repetitions", repetitions);
+  if (cell.algo != Algo::kEdgeChecker) w.field("repetitions", repetitions);
+  if (cell.algo == Algo::kThreshold) {
+    w.field("budget", cell.budget.name()).field("track", cell.track);
+  }
   w.key("graph").begin_object().field("description", description).field(
       "ground_truth", ground_truth_name(truth));
   if (cell.seed_mode == SeedMode::kSharedGraph) {
@@ -248,7 +289,16 @@ std::string CellResult::to_json(bool include_timing) const {
       .field("max_bundle", max_bundle)
       .field("overflow_trials", overflow_trials)
       .field("dropped_total", dropped_total)
-      .field("soundness_violation", soundness_violation);
+      .field("truncated_trials", truncated_trials);
+  if (cell.algo == Algo::kThreshold) {
+    w.field("seeded_total", seeded_total)
+        .field("seed_capped_total", seed_capped_total)
+        .field("evictions_total", evictions_total)
+        .field("discarded_seqs_total", discarded_seqs_total)
+        .field("budget_truncated_total", budget_truncated_total)
+        .field("peak_tracked", peak_tracked);
+  }
+  w.field("soundness_violation", soundness_violation);
   if (include_timing) w.field("elapsed_s", elapsed_seconds);
   w.end_object();
   return std::move(w).str();
@@ -263,6 +313,8 @@ std::string meta_record(const ScenarioSpec& spec, std::size_t num_cells) {
       .field("seed", spec.seed)
       .field("trials", spec.trials)
       .field("reps", spec.repetitions)
+      .field("budget", spec.budget.name())
+      .field("track", spec.track)
       .field("seed_mode", seed_mode_name(spec.seed_mode))
       .field("delivery",
              spec.delivery == congest::DeliveryMode::kArena ? "arena" : "legacy")

@@ -62,6 +62,19 @@ struct CellResult {
   std::uint64_t max_bundle = 0;  ///< Lemma-3 instrumentation: max |S| broadcast
   std::uint64_t overflow_trials = 0;
   std::uint64_t dropped_total = 0;
+  /// Trials whose run hit the internal round cap instead of quiescing
+  /// (TestVerdict::truncated) — must stay 0; nonzero means a bound bug.
+  std::uint64_t truncated_trials = 0;
+
+  // Threshold-family aggregates (all 0 for the other algorithms); emitted
+  // in the JSON only for algo=threshold cells so existing records keep
+  // their bytes.
+  std::uint64_t seeded_total = 0;           ///< executions seeded across trials
+  std::uint64_t seed_capped_total = 0;      ///< incident edges unseeded (track cap)
+  std::uint64_t evictions_total = 0;        ///< executions evicted by priority
+  std::uint64_t discarded_seqs_total = 0;   ///< sequences for untracked executions
+  std::uint64_t budget_truncated_total = 0; ///< sequences cut by the link budget
+  std::uint64_t peak_tracked = 0;           ///< max concurrent executions at any node
   /// True when a provably Ck-free instance produced a rejection — impossible
   /// while witness validation is on; nightly asserts it stays false.
   bool soundness_violation = false;

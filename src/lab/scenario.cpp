@@ -363,7 +363,12 @@ std::string_view ground_truth_name(GroundTruth t) noexcept {
 }
 
 std::string_view algo_name(Algo a) noexcept {
-  return a == Algo::kTester ? "tester" : "edge_checker";
+  switch (a) {
+    case Algo::kTester: return "tester";
+    case Algo::kEdgeChecker: return "edge_checker";
+    case Algo::kThreshold: return "threshold";
+  }
+  return "tester";
 }
 
 std::string_view seed_mode_name(SeedMode m) noexcept {
@@ -493,9 +498,11 @@ ScenarioSpec ScenarioSpec::parse(std::span<const std::pair<std::string, std::str
           spec.algos.push_back(Algo::kTester);
         } else if (token == "edge_checker") {
           spec.algos.push_back(Algo::kEdgeChecker);
+        } else if (token == "threshold") {
+          spec.algos.push_back(Algo::kThreshold);
         } else {
           fail("scenario key 'algo': unknown algorithm '" + token +
-               "' (known: tester, edge_checker)");
+               "' (known: tester, edge_checker, threshold)");
         }
       }
     } else if (key == "trials") {
@@ -505,6 +512,10 @@ ScenarioSpec ScenarioSpec::parse(std::span<const std::pair<std::string, std::str
       spec.seed = parse_u64(key, value);
     } else if (key == "reps") {
       spec.repetitions = parse_u64(key, value);
+    } else if (key == "budget") {
+      spec.budget = core::threshold::BudgetSchedule::parse(value);
+    } else if (key == "track") {
+      spec.track = parse_u64(key, value);
     } else if (key == "seed_mode") {
       if (value == "shared") {
         spec.seed_mode = SeedMode::kSharedGraph;
@@ -524,7 +535,7 @@ ScenarioSpec ScenarioSpec::parse(std::span<const std::pair<std::string, std::str
     } else {
       fail("unknown scenario key '" + key +
            "' (axes: family, k, eps, n, adversary, algo; scalars: trials, seed, reps, "
-           "seed_mode, delivery)");
+           "seed_mode, delivery, budget, track)");
     }
   }
   return spec;
@@ -566,6 +577,8 @@ std::vector<ScenarioCell> ScenarioSpec::expand() const {
               cell.trials = trials;
               cell.base_seed = seed;
               cell.repetitions = repetitions;
+              cell.budget = budget;
+              cell.track = track;
               cells.push_back(std::move(cell));
             }
           }

@@ -20,15 +20,18 @@
 #include <vector>
 
 #include "congest/simulator.hpp"
+#include "core/threshold/budget.hpp"
 #include "graph/graph.hpp"
 #include "util/rng.hpp"
 
 namespace decycle::lab {
 
-/// Which algorithm a cell exercises: the full Theorem-1 tester or the
+/// Which algorithm a cell exercises: the full Theorem-1 tester, the
 /// deterministic single-edge checker (Phase 2 in isolation) on an edge
-/// drawn per trial.
-enum class Algo : std::uint8_t { kTester, kEdgeChecker };
+/// drawn per trial, or the threshold-based all-edges family
+/// (core/threshold/) whose congestion is bounded by the spec's budget and
+/// track scalars.
+enum class Algo : std::uint8_t { kTester, kEdgeChecker, kThreshold };
 
 /// Seed policy. kSharedGraph builds one topology per cell (graph seed
 /// derived from the cell, trials vary only the algorithm seed) — this is
@@ -71,7 +74,11 @@ struct ScenarioCell {
   congest::DeliveryMode delivery = congest::DeliveryMode::kArena;
   std::size_t trials = 32;
   std::uint64_t base_seed = 1;
-  std::size_t repetitions = 0;  ///< 0 = recommended_repetitions(epsilon)
+  std::size_t repetitions = 0;  ///< 0 = recommended_repetitions(epsilon); threshold: sweeps (0 = 1)
+  /// Threshold-family knobs (ignored by the other algorithms): per-link
+  /// sequence budget schedule and the per-node execution tracking cap.
+  core::threshold::BudgetSchedule budget = core::threshold::BudgetSchedule::constant(16);
+  std::uint64_t track = 8;  ///< 0 = unlimited
 
   /// Canonical content key, e.g. "family=planted k=5 eps=0.1 n=64
   /// adversary=none algo=tester". Cell seeds are derived from this, so a
@@ -97,10 +104,13 @@ struct ScenarioSpec {
   std::size_t trials = 32;
   std::uint64_t seed = 1;
   std::size_t repetitions = 0;
+  core::threshold::BudgetSchedule budget = core::threshold::BudgetSchedule::constant(16);
+  std::uint64_t track = 8;
 
   /// Parses `key=value` pairs (axis keys: family, k, eps, n, adversary,
-  /// algo; scalar keys: trials, seed, reps, seed_mode, delivery). Throws
-  /// CheckError naming the offending key/value and the accepted options.
+  /// algo; scalar keys: trials, seed, reps, seed_mode, delivery, budget,
+  /// track). Throws CheckError naming the offending key/value and the
+  /// accepted options.
   [[nodiscard]] static ScenarioSpec parse(
       std::span<const std::pair<std::string, std::string>> pairs);
 

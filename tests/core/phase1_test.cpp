@@ -44,6 +44,33 @@ TEST(DrawRank, WithinRange) {
   }
 }
 
+TEST(DrawRank, NeverCollidesWithMissingSentinel) {
+  // Phase 1 stores kRankMissing per port until the owner's rank arrives; a
+  // draw equal to the sentinel would silently disqualify a live edge in
+  // select_and_seed. draw_rank returns 1 + [0, range), so the minimum draw
+  // is 1 > kRankMissing for every seed and every range — pinned here
+  // across seeds, tiny ranges, and the saturated range.
+  static_assert(kRankMissing == 0);
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    util::Rng rng(seed);
+    const std::uint64_t ranges[] = {1, 2, 4, rank_range_for(std::uint64_t{1} << 40)};
+    for (const std::uint64_t range : ranges) {
+      const std::uint64_t r = draw_rank(rng, range);
+      EXPECT_GT(r, kRankMissing) << "seed=" << seed << " range=" << range;
+      EXPECT_LE(r, range);
+    }
+  }
+}
+
+TEST(DrawRank, RangeOneDrawsTheMinimumDeterministically) {
+  // The smallest legal range pins the minimum-rank draw: every seed must
+  // produce exactly 1 (never the sentinel 0).
+  for (std::uint64_t seed = 0; seed < 256; ++seed) {
+    util::Rng rng(seed);
+    EXPECT_EQ(draw_rank(rng, 1), 1u) << "seed=" << seed;
+  }
+}
+
 TEST(UniqueMinRank, SingleEdgeAlwaysUnique) {
   util::Rng rng(2);
   for (int i = 0; i < 10; ++i) EXPECT_TRUE(unique_min_rank_trial(1, rng));

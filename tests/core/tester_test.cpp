@@ -113,6 +113,56 @@ TEST(Tester, RoundsMatchSchedule) {
   EXPECT_GE(verdict.stats.rounds_executed, reps * (6 / 2 + 2) - 1);
 }
 
+TEST(Tester, MinimumDrawnRankStillQualifiesItsEdge) {
+  // Regression for the Phase-1 sentinel: select_and_seed treats
+  // port_rank_ == kRankMissing (0) as "rank message lost". The minimum
+  // value draw_rank can produce is 1, so a minimum-rank edge must still be
+  // selected and seeded. Pin a seed whose very first draw for node 0 on
+  // K2 is the minimum of its range, then check the edge participates.
+  const Graph g = graph::path(2);  // a single edge; node 0 owns it
+  const IdAssignment ids = IdAssignment::identity(2);
+  const std::uint64_t range = rank_range_for(2);
+  ASSERT_EQ(range, 16u);
+  std::uint64_t pinned = ~std::uint64_t{0};
+  for (std::uint64_t seed = 0; seed < 100000; ++seed) {
+    // Mirrors TesterProgram::start_repetition's stream: (seed, rep 0, id 0).
+    util::Rng rng = util::Rng(seed).fork(0).fork(0);
+    if (draw_rank(rng, range) == 1) {
+      pinned = seed;
+      break;
+    }
+  }
+  ASSERT_NE(pinned, ~std::uint64_t{0}) << "no seed drawing the minimum rank in range";
+
+  const auto verdict = run_tester(g, ids, 5, 1, pinned);
+  EXPECT_TRUE(verdict.accepted);  // a single edge carries no cycle
+  // Participation proof: both endpoints seeded Phase 2 for the rank-1 edge
+  // (a sentinel collision would leave the whole repetition silent).
+  EXPECT_GE(verdict.max_bundle_sequences, 1u);
+  EXPECT_GT(verdict.stats.total_messages, 2u);  // more than just the rank round
+}
+
+TEST(Tester, BoundaryRoundBudgetCompletesFinalRepetition) {
+  // The internal cap is repetitions·(⌊k/2⌋+2) + 4: at the boundary
+  // (repetitions = 1, large k) the final repetition's Phase 2 must have
+  // quiesced on its own, never been cut by the cap. A long cycle keeps
+  // Phase-2 traffic alive through the very last round (two sequences per
+  // node per round) without the path-count blowup of dense graphs.
+  const Graph g = graph::cycle(64);
+  const IdAssignment ids = IdAssignment::identity(64);
+  for (const unsigned k : {31u, 32u}) {  // odd and even ⌊k/2⌋ boundaries
+    const auto verdict = run_tester(g, ids, k, 1, 77);
+    EXPECT_TRUE(verdict.accepted) << "k=" << k;  // C64 contains no shorter cycle
+    EXPECT_FALSE(verdict.truncated) << "k=" << k;
+    EXPECT_TRUE(verdict.stats.halted) << "k=" << k;
+    // Traffic survives to the final-check round, so the run uses the whole
+    // schedule — and still fits under the cap with slack to spare.
+    EXPECT_GE(verdict.stats.rounds_executed, static_cast<std::uint64_t>(k / 2 + 1)) << "k=" << k;
+    EXPECT_LE(verdict.stats.rounds_executed, static_cast<std::uint64_t>(k / 2 + 2) + 4)
+        << "k=" << k;
+  }
+}
+
 TEST(Tester, DeterministicForFixedSeed) {
   util::Rng rng(9);
   const Graph g = graph::random_connected(40, 70, rng);

@@ -25,11 +25,11 @@ std::string run_matrix_jsonl(const std::vector<std::string>& tokens, util::Threa
 }
 
 // The acceptance-criterion matrix: families with opposite ground truths,
-// both algorithms, and a lossy adversary, kept small enough for CI.
+// all three algorithms, and a lossy adversary, kept small enough for CI.
 const std::vector<std::string> kMatrix = {
-    "family=planted,ckfree_highgirth", "k=4,5",       "n=20",
-    "eps=0.15",                        "trials=10",   "seed=33",
-    "algo=tester,edge_checker",        "adversary=none,uniform:0.3"};
+    "family=planted,ckfree_highgirth",    "k=4,5",     "n=20",
+    "eps=0.15",                           "trials=10", "seed=33",
+    "algo=tester,edge_checker,threshold", "adversary=none,uniform:0.3"};
 
 /// The lab determinism contract: byte-identical JSON for the same matrix at
 /// 1 and 8 threads, and with simulator reuse on or off.
@@ -94,6 +94,39 @@ TEST(LabRunner, EdgeCheckerFindsCyclesOnWheel) {
   EXPECT_EQ(results[0].repetitions, 0u);  // edge checker has no repetitions
 }
 
+TEST(LabRunner, ThresholdCellsDetectPlantedAndReportBudgetStats) {
+  const ScenarioSpec spec = ScenarioSpec::parse_tokens(
+      {"family=planted", "k=5", "n=20", "trials=12", "seed=4", "algo=threshold",
+       "budget=8", "track=4"});
+  const LabRunner runner{LabOptions{}};
+  const auto results = runner.run_matrix(spec.expand());
+  ASSERT_EQ(results.size(), 1u);
+  const CellResult& r = results[0];
+  EXPECT_EQ(r.truth, GroundTruth::kFar);
+  EXPECT_EQ(r.repetitions, 1u);  // one sweep by default
+  EXPECT_GE(r.reject_interval.estimate, 2.0 / 3.0);
+  EXPECT_GT(r.seeded_total, 0u);
+  EXPECT_EQ(r.truncated_trials, 0u);
+  const std::string json = r.to_json(false);
+  EXPECT_NE(json.find("\"algo\":\"threshold\""), std::string::npos);
+  EXPECT_NE(json.find("\"budget\":\"8\""), std::string::npos);
+  EXPECT_NE(json.find("\"track\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"seeded_total\":"), std::string::npos);
+  EXPECT_NE(json.find("\"budget_truncated_total\":"), std::string::npos);
+  EXPECT_NE(json.find("\"peak_tracked\":"), std::string::npos);
+}
+
+TEST(LabRunner, ThresholdSoundnessUnderTightBudgets) {
+  const ScenarioSpec spec = ScenarioSpec::parse_tokens(
+      {"family=ckfree_forest,ckfree_highgirth", "k=5", "n=24", "trials=8", "seed=13",
+       "algo=threshold", "budget=1", "track=1"});
+  const LabRunner runner{LabOptions{}};
+  for (const CellResult& res : runner.run_matrix(spec.expand())) {
+    EXPECT_EQ(res.rejections, 0u) << res.cell.key();
+    EXPECT_FALSE(res.soundness_violation) << res.cell.key();
+  }
+}
+
 TEST(LabRunner, AdversaryDropsAreCountedAndSoundnessSurvives) {
   const ScenarioSpec spec = ScenarioSpec::parse_tokens(
       {"family=ckfree_highgirth", "k=5", "n=24", "trials=6", "seed=8",
@@ -138,7 +171,8 @@ TEST(LabRunner, MetaRecordEchoesTheSpec) {
   const std::string meta = meta_record(spec, spec.expand().size());
   EXPECT_EQ(meta,
             "{\"type\":\"meta\",\"tool\":\"decycle_lab\",\"format\":1,\"seed\":77,"
-            "\"trials\":2,\"reps\":0,\"seed_mode\":\"shared\",\"delivery\":\"arena\","
+            "\"trials\":2,\"reps\":0,\"budget\":\"16\",\"track\":8,"
+            "\"seed_mode\":\"shared\",\"delivery\":\"arena\","
             "\"cells\":2,\"axes\":{\"family\":[\"cycle\"],\"k\":[3,4],\"eps\":[0.5],"
             "\"n\":[8],\"adversary\":[\"none\"],\"algo\":[\"tester\"]}}");
 }

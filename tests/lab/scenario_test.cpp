@@ -81,6 +81,26 @@ TEST(ScenarioSpec, BadValuesAreRejectedWithClearMessages) {
   EXPECT_NE(parse_error({"delivery=warp"}).find("arena or legacy"), std::string::npos);
 }
 
+TEST(ScenarioSpec, ThresholdAlgoAndKnobsParse) {
+  const ScenarioSpec spec = ScenarioSpec::parse_tokens(
+      {"family=planted", "algo=threshold", "budget=4,8", "track=3"});
+  ASSERT_EQ(spec.algos.size(), 1u);
+  EXPECT_EQ(spec.algos[0], Algo::kThreshold);
+  EXPECT_EQ(algo_name(Algo::kThreshold), "threshold");
+  EXPECT_EQ(spec.budget.name(), "4,8");
+  EXPECT_EQ(spec.track, 3u);
+  const auto cells = spec.expand();
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].budget.name(), "4,8");
+  EXPECT_EQ(cells[0].track, 3u);
+  EXPECT_NE(cells[0].key().find("algo=threshold"), std::string::npos);
+
+  // Unknown-algo errors now advertise the threshold family too.
+  EXPECT_NE(parse_error({"algo=quantum"}).find("threshold"), std::string::npos);
+  EXPECT_NE(parse_error({"budget=bogus"}).find("budget schedule"), std::string::npos);
+  EXPECT_NE(parse_error({"budget=4,0"}).find("zero entry"), std::string::npos);
+}
+
 TEST(ScenarioSpec, RejectsSizesBeyondVertexWidth) {
   // Builders take 32-bit Vertex ids; truncation would silently build a
   // different instance than the JSON record claims.

@@ -55,6 +55,40 @@ TEST(OnlineStats, MergeWithEmpty) {
   EXPECT_EQ(b.mean(), 3.0);
 }
 
+TEST(OnlineStats, MergeEmptyIntoEmptyStaysEmpty) {
+  OnlineStats a, b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.mean(), 0.0);
+  EXPECT_EQ(a.variance(), 0.0);
+}
+
+TEST(OnlineStats, MergeIntoEmptyCopiesMinMaxAndMoments) {
+  OnlineStats src;
+  src.add(-2.0);
+  src.add(4.0);
+  src.add(10.0);
+  OnlineStats dst;
+  dst.merge(src);
+  EXPECT_EQ(dst.count(), 3u);
+  EXPECT_DOUBLE_EQ(dst.mean(), 4.0);
+  EXPECT_EQ(dst.min(), -2.0);
+  EXPECT_EQ(dst.max(), 10.0);
+  EXPECT_DOUBLE_EQ(dst.variance(), src.variance());
+}
+
+TEST(OnlineStats, MergeSingleSamples) {
+  OnlineStats a, b;
+  a.add(1.0);
+  b.add(5.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 8.0);  // ((1-3)² + (5-3)²) / (2-1)
+  EXPECT_EQ(a.min(), 1.0);
+  EXPECT_EQ(a.max(), 5.0);
+}
+
 TEST(Percentiles, MedianAndExtremes) {
   Percentiles p;
   for (const double x : {5.0, 1.0, 3.0, 2.0, 4.0}) p.add(x);
@@ -68,6 +102,31 @@ TEST(Percentiles, Interpolates) {
   p.add(0.0);
   p.add(10.0);
   EXPECT_DOUBLE_EQ(p.quantile(0.25), 2.5);
+}
+
+TEST(Percentiles, EmptyReturnsZeroForEveryQuantile) {
+  Percentiles p;
+  EXPECT_EQ(p.count(), 0u);
+  EXPECT_DOUBLE_EQ(p.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(p.median(), 0.0);
+  EXPECT_DOUBLE_EQ(p.quantile(1.0), 0.0);
+}
+
+TEST(Percentiles, SingleSampleIsEveryQuantile) {
+  Percentiles p;
+  p.add(42.0);
+  EXPECT_DOUBLE_EQ(p.quantile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(p.quantile(0.37), 42.0);
+  EXPECT_DOUBLE_EQ(p.median(), 42.0);
+  EXPECT_DOUBLE_EQ(p.quantile(1.0), 42.0);
+}
+
+TEST(Percentiles, OutOfRangeQuantilesClamp) {
+  Percentiles p;
+  p.add(1.0);
+  p.add(2.0);
+  EXPECT_DOUBLE_EQ(p.quantile(-0.5), 1.0);
+  EXPECT_DOUBLE_EQ(p.quantile(1.5), 2.0);
 }
 
 TEST(Percentiles, AddAfterQueryResorts) {
@@ -96,6 +155,22 @@ TEST(Wilson, BoundaryZeroAndOne) {
 
   const auto one = wilson_interval(50, 50);
   EXPECT_EQ(one.estimate, 1.0);
+  EXPECT_LT(one.low, 1.0);
+  EXPECT_EQ(one.high, 1.0);
+}
+
+TEST(Wilson, SingleTrialBoundaries) {
+  // successes ∈ {0, trials} at the smallest possible trial count: the
+  // interval must stay inside [0, 1] and keep the boundary pinned.
+  const auto zero = wilson_interval(0, 1);
+  EXPECT_EQ(zero.estimate, 0.0);
+  EXPECT_EQ(zero.low, 0.0);
+  EXPECT_GT(zero.high, 0.0);
+  EXPECT_LT(zero.high, 1.0);
+
+  const auto one = wilson_interval(1, 1);
+  EXPECT_EQ(one.estimate, 1.0);
+  EXPECT_GT(one.low, 0.0);
   EXPECT_LT(one.low, 1.0);
   EXPECT_EQ(one.high, 1.0);
 }

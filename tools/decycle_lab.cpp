@@ -7,8 +7,10 @@
 /// checked-in golden file (ci/golden/).
 ///
 /// Example:
-///   decycle_lab --family=planted,ckfree_highgirth --k=4,5 --n=24,48 \
+///   decycle_lab --family=planted,ckfree_highgirth --k=4,5 --n=24,48
 ///               --eps=0.125 --trials=24 --seed=2026 --threads=8
+///               --algo=tester,edge_checker,threshold --budget=16 --track=8
+/// (one command line; wrapped here for readability)
 ///
 /// Runner flags (everything else is forwarded to the scenario parser):
 ///   --threads=N   trial-level worker threads (0 = serial, default)
