@@ -5,19 +5,28 @@
 ///
 /// The paper's point is qualitative: [7]/[20]-style sampling works for
 /// k <= 4 and provably cannot extend to k >= 5, while Algorithm 1 covers
-/// every k at O(1/ε) rounds. The table puts the testers side by side on the
-/// same certified instances: detection rate at their prescribed budgets,
-/// rounds used, and soundness on free instances. For k = 5 only the paper's
-/// algorithm competes (the specialized ones have no k=5 analogue — that is
-/// the paper's contribution).
-#include <atomic>
+/// every k at O(1/ε) rounds. The table is built by iterating the detector
+/// registry (core/detector.hpp): every registered algorithm whose
+/// capabilities admit k runs on the same certified instances through the
+/// one unified interface — detection rate on the ε-far instance, acceptance
+/// on the Ck-free instance, rounds used. Capability gating is what renders
+/// the paper's contribution visible: at k = 5 the specialized testers
+/// simply vanish from the table (their k range excludes it), leaving only
+/// the general algorithms.
+///
+/// Claims: every detector must accept the free instance (1-sided error);
+/// the property testers (tester, threshold, and the specialized ones inside
+/// their k range, at their prescribed budgets) must detect at rate >= 2/3.
+/// The edge checker (one random edge per trial — detection scales with the
+/// fraction of edges on cycles) and single-δ color coding report their
+/// rates without a detection claim.
 #include <iostream>
+#include <string>
+#include <string_view>
 
-#include "baselines/c4_tester.hpp"
-#include "baselines/color_coding.hpp"
-#include "baselines/triangle_chs.hpp"
-#include "core/tester.hpp"
+#include "core/detector.hpp"
 #include "graph/far_generators.hpp"
+#include "graph/generators.hpp"
 #include "harness/claims.hpp"
 #include "harness/estimator.hpp"
 #include "util/cli.hpp"
@@ -33,6 +42,7 @@ int main(int argc, char** argv) {
   util::Table table({"k", "algorithm", "far-instance detect", "free-instance accept", "rounds",
                      "claim"});
   util::ThreadPool& pool = util::global_pool();
+  const core::DetectorRegistry& registry = core::DetectorRegistry::builtin();
 
   for (const unsigned k : {3u, 4u, 5u}) {
     util::Rng rng(41 * k);
@@ -50,85 +60,45 @@ int main(int argc, char** argv) {
         graph::IdAssignment::identity(far_inst.graph.num_vertices());
     const graph::IdAssignment free_ids = graph::IdAssignment::identity(free_inst.num_vertices());
 
-    // --- The paper's tester, at its prescribed budget. ---
-    std::atomic<std::uint64_t> rounds{0};
-    const auto ours_far = harness::estimate_rate(
-        [&](std::size_t, std::uint64_t seed) {
-          core::TesterOptions topt;
-          topt.k = k;
-          topt.epsilon = eps;
-          topt.seed = seed;
-          const auto verdict = core::test_ck_freeness(far_inst.graph, far_ids, topt);
-          rounds.store(verdict.stats.rounds_executed, std::memory_order_relaxed);
-          return !verdict.accepted;
-        },
-        trials, 6000 + k, &pool);
-    core::TesterOptions free_opt;
-    free_opt.k = k;
-    free_opt.epsilon = eps;
-    free_opt.seed = 5;
-    const bool ours_free = core::test_ck_freeness(free_inst, free_ids, free_opt).accepted;
-    const bool ours_ok = ours_far.rate() >= 2.0 / 3.0 && ours_free;
-    claims.check("Algorithm 1 at k=" + std::to_string(k), ours_ok);
-    table.row()
-        .cell(static_cast<std::uint64_t>(k))
-        .cell("Algorithm 1 (this paper)")
-        .cell(ours_far.rate(), 3)
-        .cell(ours_free ? "yes" : "NO")
-        .cell(rounds.load())
-        .cell_ok(ours_ok);
+    std::size_t det_index = 0;
+    for (const core::Detector* det : registry.detectors()) {
+      ++det_index;
+      // Capability gating, not special cases: a detector whose k range
+      // excludes this k (c4 at k != 4, triangle at k != 3) has no row.
+      if (!registry.validate_k(*det, k).empty()) continue;
+      const std::string_view name = det->name();
 
-    // --- Specialized testers where they exist. ---
-    if (k == 3) {
-      std::atomic<std::uint64_t> chs_rounds{0};
-      const auto chs = harness::estimate_rate(
-          [&](std::size_t, std::uint64_t seed) {
-            baselines::TriangleTesterOptions topt;
-            topt.iterations = 256;  // O(1/eps^2)-style budget
-            topt.seed = seed;
-            const auto verdict =
-                baselines::test_triangle_freeness_chs(far_inst.graph, far_ids, topt);
-            chs_rounds.store(verdict.stats.rounds_executed, std::memory_order_relaxed);
-            return !verdict.accepted;
-          },
-          trials, 6100, &pool);
-      baselines::TriangleTesterOptions fopt;
-      fopt.iterations = 256;
-      const bool chs_free =
-          baselines::test_triangle_freeness_chs(free_inst, free_ids, fopt).accepted;
-      const bool ok = chs.rate() >= 2.0 / 3.0 && chs_free;
-      claims.check("CHS triangle tester at k=3", ok);
+      core::DetectorOptions base;
+      base.k = k;
+      base.epsilon = eps;
+      // The specialized samplers run at their prescribed O(1/ε²)-style
+      // iteration budget; everything else uses its own default.
+      if (name == "c4" || name == "triangle") base.repetitions = 256;
+
+      const auto far_rate = harness::estimate_rate_lanes(
+          harness::detector_lanes(*det, far_inst.graph, far_ids, base), trials,
+          6000 + 100 * det_index + k, &pool);
+
+      core::DetectorOptions free_opt = base;
+      free_opt.seed = 5;
+      const bool free_ok = det->run_fresh(free_inst, free_ids, free_opt).accepted;
+
+      // One pinned-seed run supplies the representative rounds figure (the
+      // round count is seed-invariant for the fixed-schedule detectors and
+      // within one round of it for the rest).
+      core::DetectorOptions probe_opt = base;
+      probe_opt.seed = 1;
+      const core::Verdict probe = det->run_fresh(far_inst.graph, far_ids, probe_opt);
+
+      const bool claim_detection = name != "edge_checker" && name != "color_coding";
+      const bool ok = free_ok && (!claim_detection || far_rate.rate() >= 2.0 / 3.0);
+      claims.check(std::string(name) + " at k=" + std::to_string(k), ok);
       table.row()
-          .cell(3u)
-          .cell("CHS-style [7]")
-          .cell(chs.rate(), 3)
-          .cell(chs_free ? "yes" : "NO")
-          .cell(chs_rounds.load())
-          .cell_ok(ok);
-    }
-    if (k == 4) {
-      std::atomic<std::uint64_t> frst_rounds{0};
-      const auto frst = harness::estimate_rate(
-          [&](std::size_t, std::uint64_t seed) {
-            baselines::C4TesterOptions topt;
-            topt.iterations = 256;
-            topt.seed = seed;
-            const auto verdict = baselines::test_c4_freeness_frst(far_inst.graph, far_ids, topt);
-            frst_rounds.store(verdict.stats.rounds_executed, std::memory_order_relaxed);
-            return !verdict.accepted;
-          },
-          trials, 6200, &pool);
-      baselines::C4TesterOptions fopt;
-      fopt.iterations = 256;
-      const bool frst_free = baselines::test_c4_freeness_frst(free_inst, free_ids, fopt).accepted;
-      const bool ok = frst.rate() >= 2.0 / 3.0 && frst_free;
-      claims.check("FRST C4 tester at k=4", ok);
-      table.row()
-          .cell(4u)
-          .cell("FRST-style [20]")
-          .cell(frst.rate(), 3)
-          .cell(frst_free ? "yes" : "NO")
-          .cell(frst_rounds.load())
+          .cell(static_cast<std::uint64_t>(k))
+          .cell(std::string(name) + (claim_detection ? "" : " (no detection claim)"))
+          .cell(far_rate.rate(), 3)
+          .cell(free_ok ? "yes" : "NO")
+          .cell(probe.stats.rounds_executed)
           .cell_ok(ok);
     }
     if (k == 5) {
@@ -140,25 +110,9 @@ int main(int argc, char** argv) {
           .cell(0u)
           .cell_ok(true);
     }
-
-    // --- Centralized color coding as the sequential reference. ---
-    baselines::ColorCodingOptions copt;
-    copt.seed = 9 + k;
-    copt.iterations = baselines::color_coding_iterations(k, 1.0 / 3.0);
-    const auto cc = baselines::find_cycle_color_coding(far_inst.graph, k, copt);
-    const auto cc_free = baselines::find_cycle_color_coding(free_inst, k, copt);
-    const bool cc_ok = !cc_free.found;  // one-sided: never invents a cycle
-    claims.check("color coding sound at k=" + std::to_string(k), cc_ok);
-    table.row()
-        .cell(static_cast<std::uint64_t>(k))
-        .cell("color coding (centralized)")
-        .cell(cc.found ? "found" : "missed")
-        .cell(cc_free.found ? "NO" : "yes")
-        .cell(static_cast<std::uint64_t>(cc.iterations_used))
-        .cell_ok(cc_ok);
   }
 
   table.print(std::cout, "B1: this paper vs specialized distributed testers and centralized "
-                         "color coding (same certified instances)");
+                         "color coding (same certified instances, one registry)");
   return claims.summarize();
 }

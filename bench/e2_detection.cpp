@@ -11,7 +11,8 @@
 #include <iostream>
 #include <memory>
 
-#include "core/tester.hpp"
+#include "core/detector.hpp"
+#include "core/phase1.hpp"
 #include "graph/far_generators.hpp"
 #include "harness/claims.hpp"
 #include "harness/estimator.hpp"
@@ -31,25 +32,20 @@ int main(int argc, char** argv) {
       {"k", "instance", "m", "cert. eps", "reps", "trials", "detect rate", "95% CI low", "claim"});
   util::ThreadPool& pool = util::global_pool();
 
+  const core::Detector& tester = core::DetectorRegistry::builtin().require("tester");
   const auto measure = [&](const graph::FarInstance& inst, unsigned k) {
     const double eps = inst.certified_epsilon();
     const std::size_t reps = core::recommended_repetitions(eps);
-    // One Simulator per lane, reset between trials (Simulator::reset): the
-    // CSR table and arenas are built once per lane, not once per trial.
-    // Seeds are the estimate_rate scheme, so rates match any thread count.
+    // Registry dispatch through detector_lanes: one Simulator per lane,
+    // reset between trials (Simulator::reset), so the CSR table and arenas
+    // are built once per lane, not once per trial. Seeds are the
+    // estimate_rate scheme, so rates match any thread count.
     const graph::IdAssignment ids = graph::IdAssignment::identity(inst.graph.num_vertices());
+    core::DetectorOptions base;
+    base.k = k;
+    base.epsilon = eps;
     const auto estimate = harness::estimate_rate_lanes(
-        [&](std::size_t) {
-          auto sim = std::make_shared<congest::Simulator>(inst.graph, ids);
-          return [&, sim](std::size_t, std::uint64_t seed) {
-            core::TesterOptions topt;
-            topt.k = k;
-            topt.epsilon = eps;
-            topt.seed = seed;
-            return !core::test_ck_freeness(*sim, topt).accepted;
-          };
-        },
-        trials, 4242 + k, &pool);
+        harness::detector_lanes(tester, inst.graph, ids, base), trials, 4242 + k, &pool);
 
     const bool holds = estimate.rate() >= 2.0 / 3.0;
     claims.check("detection >= 2/3 on " + inst.description, holds);

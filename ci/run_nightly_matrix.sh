@@ -16,7 +16,7 @@ exec "${BUILD_DIR}/decycle_lab" \
   --n=24 \
   --eps=0.125 \
   --adversary=none,uniform:0.25 \
-  --algo=tester,edge_checker,threshold \
+  --algo=tester,edge_checker,threshold,color_coding \
   --budget=8 \
   --track=4 \
   --trials=12 \

@@ -79,11 +79,20 @@ class C4Program final : public congest::NodeProgram {
 
 C4Verdict test_c4_freeness_frst(const graph::Graph& g, const graph::IdAssignment& ids,
                                 const C4TesterOptions& options) {
-  congest::Simulator sim(g, ids, [&](graph::Vertex v) {
+  congest::Simulator sim(g, ids);
+  return test_c4_freeness_frst(sim, options);
+}
+
+C4Verdict test_c4_freeness_frst(congest::Simulator& sim, const C4TesterOptions& options) {
+  const graph::Graph& g = sim.graph();
+  const graph::IdAssignment& ids = sim.ids();
+  sim.reset([&](graph::Vertex v) {
     return std::make_unique<C4Program>(options.iterations, options.seed, ids.id_of(v));
   });
   congest::Simulator::Options sim_options;
   sim_options.max_rounds = options.iterations + 2;
+  sim_options.drop = options.drop;
+  sim_options.delivery = options.delivery;
   C4Verdict verdict;
   verdict.stats = sim.run(sim_options);
 

@@ -25,6 +25,8 @@ struct C4TesterOptions {
   std::size_t iterations = 64;
   std::uint64_t seed = 1;
   bool validate_witnesses = true;
+  congest::Simulator::DropFilter drop;  ///< optional message-loss adversary
+  congest::DeliveryMode delivery = congest::DeliveryMode::kArena;
 };
 
 struct C4Verdict {
@@ -36,6 +38,12 @@ struct C4Verdict {
 
 [[nodiscard]] C4Verdict test_c4_freeness_frst(const graph::Graph& g,
                                               const graph::IdAssignment& ids,
+                                              const C4TesterOptions& options);
+
+/// Same, but on an existing Simulator for the topology (reset + run — the
+/// reuse contract: bit-identical to the fresh-build overload). This is how
+/// the detector registry drives the baseline from reused lab lanes.
+[[nodiscard]] C4Verdict test_c4_freeness_frst(congest::Simulator& sim,
                                               const C4TesterOptions& options);
 
 }  // namespace decycle::baselines

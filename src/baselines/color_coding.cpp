@@ -140,6 +140,7 @@ ColorCodingResult find_cycle_color_coding(const Graph& g, unsigned k,
   ColorCodingResult result;
   const std::size_t iterations =
       options.iterations != 0 ? options.iterations : color_coding_iterations(k, 1.0 / 3.0);
+  result.iterations_budget = iterations;
   util::Rng rng(options.seed);
   std::vector<std::uint8_t> color(g.num_vertices(), 0);
   for (std::size_t it = 0; it < iterations; ++it) {
@@ -147,7 +148,7 @@ ColorCodingResult find_cycle_color_coding(const Graph& g, unsigned k,
     result.iterations_used = it + 1;
     if (auto cycle = colorful_cycle(g, k, color)) {
       result.found = true;
-      result.cycle = std::move(*cycle);
+      result.witness = std::move(*cycle);
       return result;
     }
   }

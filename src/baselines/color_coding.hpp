@@ -29,8 +29,15 @@ struct ColorCodingOptions {
 
 struct ColorCodingResult {
   bool found = false;
-  std::vector<graph::Vertex> cycle;  ///< validated witness when found
-  std::size_t iterations_used = 0;
+  /// Validated witness cycle when found. Named and typed like every other
+  /// verdict's witness (graph::Vertex) — the unified-Verdict convention of
+  /// core/detector.hpp.
+  std::vector<graph::Vertex> witness;
+  std::size_t iterations_used = 0;    ///< colorings executed (early exit on found)
+  /// The resolved iteration budget: options.iterations, or the auto count
+  /// when 0. Single source of truth for "what was configured" (the
+  /// detector registry reports it as Verdict::repetitions).
+  std::size_t iterations_budget = 0;
 };
 
 /// Searches for any Ck. One-sided: found=true always carries a real cycle;

@@ -84,11 +84,21 @@ class TriangleProgram final : public congest::NodeProgram {
 
 TriangleVerdict test_triangle_freeness_chs(const graph::Graph& g, const graph::IdAssignment& ids,
                                            const TriangleTesterOptions& options) {
-  congest::Simulator sim(g, ids, [&](graph::Vertex v) {
+  congest::Simulator sim(g, ids);
+  return test_triangle_freeness_chs(sim, options);
+}
+
+TriangleVerdict test_triangle_freeness_chs(congest::Simulator& sim,
+                                           const TriangleTesterOptions& options) {
+  const graph::Graph& g = sim.graph();
+  const graph::IdAssignment& ids = sim.ids();
+  sim.reset([&](graph::Vertex v) {
     return std::make_unique<TriangleProgram>(options.iterations, options.seed, ids.id_of(v));
   });
   congest::Simulator::Options sim_options;
   sim_options.max_rounds = options.iterations + 2;
+  sim_options.drop = options.drop;
+  sim_options.delivery = options.delivery;
   TriangleVerdict verdict;
   verdict.stats = sim.run(sim_options);
 

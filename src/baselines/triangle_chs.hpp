@@ -26,6 +26,8 @@ struct TriangleTesterOptions {
   std::size_t iterations = 64;
   std::uint64_t seed = 1;
   bool validate_witnesses = true;
+  congest::Simulator::DropFilter drop;  ///< optional message-loss adversary
+  congest::DeliveryMode delivery = congest::DeliveryMode::kArena;
 };
 
 struct TriangleVerdict {
@@ -37,6 +39,12 @@ struct TriangleVerdict {
 
 [[nodiscard]] TriangleVerdict test_triangle_freeness_chs(const graph::Graph& g,
                                                          const graph::IdAssignment& ids,
+                                                         const TriangleTesterOptions& options);
+
+/// Same, but on an existing Simulator for the topology (reset + run — the
+/// reuse contract: bit-identical to the fresh-build overload). This is how
+/// the detector registry drives the baseline from reused lab lanes.
+[[nodiscard]] TriangleVerdict test_triangle_freeness_chs(congest::Simulator& sim,
                                                          const TriangleTesterOptions& options);
 
 }  // namespace decycle::baselines

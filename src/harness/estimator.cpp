@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
+#include <utility>
 #include <vector>
 
+#include "congest/simulator.hpp"
 #include "util/rng.hpp"
 
 namespace decycle::harness {
@@ -59,6 +62,20 @@ RateEstimate estimate_rate_lanes(const LaneFactory& make_lane, std::size_t trial
   for (const std::uint8_t ok : outcome) out.successes += ok;
   out.interval = util::wilson_interval(out.successes, out.trials);
   return out;
+}
+
+LaneFactory detector_lanes(const core::Detector& detector, const graph::Graph& g,
+                           const graph::IdAssignment& ids, core::DetectorOptions base) {
+  return [&detector, &g, &ids, base = std::move(base)](std::size_t) -> TrialFn {
+    // One topology-only Simulator per lane; shared_ptr keeps it alive for
+    // the copyable std::function wrapper.
+    auto sim = std::make_shared<congest::Simulator>(g, ids);
+    return [&detector, base, sim](std::size_t, std::uint64_t seed) {
+      core::DetectorOptions options = base;
+      options.seed = seed;
+      return !detector.run(*sim, options).accepted;
+    };
+  };
 }
 
 }  // namespace decycle::harness

@@ -13,6 +13,9 @@
 #include <functional>
 #include <utility>
 
+#include "core/detector.hpp"
+#include "graph/graph.hpp"
+#include "graph/ids.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
@@ -74,5 +77,16 @@ using LaneFactory = std::function<TrialFn(std::size_t lane)>;
 [[nodiscard]] RateEstimate estimate_rate_lanes(const LaneFactory& make_lane, std::size_t trials,
                                                std::uint64_t base_seed,
                                                util::ThreadPool* pool = nullptr);
+
+/// Lane factory running any registry detector on one fixed topology: each
+/// lane owns a Simulator for (g, ids) that the detector resets between
+/// trials (the reuse contract), a trial's "success" is rejection, and the
+/// per-trial seed overwrites \p base options' seed. This is the single way
+/// rate-estimation benches drive detection algorithms — swap the detector,
+/// not the plumbing. \p detector, \p g, and \p ids must outlive the
+/// returned factory and every TrialFn it builds.
+[[nodiscard]] LaneFactory detector_lanes(const core::Detector& detector, const graph::Graph& g,
+                                         const graph::IdAssignment& ids,
+                                         core::DetectorOptions base);
 
 }  // namespace decycle::harness

@@ -5,10 +5,7 @@
 #include <optional>
 #include <ostream>
 
-#include "core/cycle_detector.hpp"
-#include "core/phase1.hpp"
-#include "core/tester.hpp"
-#include "core/threshold/threshold_tester.hpp"
+#include "core/detector.hpp"
 #include "graph/ids.hpp"
 #include "harness/estimator.hpp"
 #include "lab/json.hpp"
@@ -22,10 +19,11 @@ namespace {
 // Seed-stream tags: every random decision of a trial draws from a stream
 // derived from (cell key, trial index, purpose tag), so outcomes are pure
 // functions of the cell content — independent of lanes, threads, and the
-// rest of the matrix.
+// rest of the matrix. (The per-trial target edge of draws_edge detectors
+// uses its own tag inside core/detector.cpp, derived from the same trial
+// seed.)
 constexpr std::uint64_t kGraphTag = 0x67726170685f5f31ULL;  // "graph__1"
 constexpr std::uint64_t kDropTag = 0x64726f705f5f5f31ULL;   // "drop___1"
-constexpr std::uint64_t kEdgeTag = 0x656467655f5f5f31ULL;   // "edge___1"
 
 struct TrialOutcome {
   bool rejected = false;
@@ -41,9 +39,12 @@ struct TrialOutcome {
   std::uint64_t max_bundle = 0;
   std::uint64_t dropped = 0;
   bool truncated = false;
-  core::threshold::ThresholdStats threshold;  ///< zero for non-threshold algos
+  std::size_t repetitions = 0;             ///< detector-resolved reps/sweeps/iters
+  std::vector<std::uint64_t> counters;     ///< aligned with the detector's table
 };
 
+/// Registry dispatch: every algorithm — core testers and baselines alike —
+/// runs through the same Detector::run call; no per-algorithm branches.
 TrialOutcome run_trial(const ScenarioCell& cell, const BuiltTopology& topo,
                        congest::Simulator& sim, std::uint64_t trial_seed) {
   TrialOutcome out;
@@ -51,76 +52,34 @@ TrialOutcome run_trial(const ScenarioCell& cell, const BuiltTopology& topo,
   out.certified_epsilon = topo.certified_epsilon;
   out.vertices = topo.graph.num_vertices();
   out.edges = topo.graph.num_edges();
-  const congest::Simulator::DropFilter drop =
-      make_drop_filter(cell.adversary, util::splitmix64(trial_seed ^ kDropTag));
 
-  if (cell.algo == Algo::kTester) {
-    core::TesterOptions topt;
-    topt.k = cell.k;
-    topt.epsilon = cell.epsilon;
-    topt.seed = trial_seed;
-    topt.repetitions = cell.repetitions;
-    topt.drop = drop;
-    topt.delivery = cell.delivery;
-    const core::TestVerdict verdict = core::test_ck_freeness(sim, topt);
-    out.rejected = !verdict.accepted;
-    out.overflow = verdict.overflow;
-    out.truncated = verdict.truncated;
-    out.max_bundle = verdict.max_bundle_sequences;
-    out.rounds = verdict.stats.rounds_executed;
-    out.messages = verdict.stats.total_messages;
-    out.bits = verdict.stats.total_bits;
-    out.max_link_bits = verdict.stats.max_link_bits;
-    out.dropped = verdict.stats.dropped_messages;
-    return out;
-  }
+  core::DetectorOptions opt;
+  opt.k = cell.k;
+  opt.epsilon = cell.epsilon;
+  opt.seed = trial_seed;
+  opt.repetitions = cell.repetitions;
+  opt.budget = cell.budget;
+  opt.max_tracked = cell.track;
+  opt.drop = make_drop_filter(cell.adversary, util::splitmix64(trial_seed ^ kDropTag));
+  opt.delivery = cell.delivery;
 
-  if (cell.algo == Algo::kThreshold) {
-    core::threshold::ThresholdOptions topt;
-    topt.k = cell.k;
-    topt.seed = trial_seed;
-    topt.sweeps = cell.repetitions != 0 ? cell.repetitions : 1;
-    topt.budget = cell.budget;
-    topt.max_tracked = cell.track;
-    topt.drop = drop;
-    topt.delivery = cell.delivery;
-    const core::threshold::ThresholdVerdict tv =
-        core::threshold::test_ck_freeness_threshold(sim, topt);
-    out.rejected = !tv.verdict.accepted;
-    out.overflow = tv.verdict.overflow;
-    out.truncated = tv.verdict.truncated;
-    out.max_bundle = tv.verdict.max_bundle_sequences;
-    out.rounds = tv.verdict.stats.rounds_executed;
-    out.messages = tv.verdict.stats.total_messages;
-    out.bits = tv.verdict.stats.total_bits;
-    out.max_link_bits = tv.verdict.stats.max_link_bits;
-    out.dropped = tv.verdict.stats.dropped_messages;
-    out.threshold = tv.threshold;
-    return out;
-  }
-
-  // Edge checker: one uniformly drawn edge per trial (Phase 2 in isolation).
-  DECYCLE_CHECK_MSG(topo.graph.num_edges() > 0,
-                    "edge_checker cell built an edgeless instance (" + cell.key() +
-                        ") — nothing to draw an edge from");
-  util::Rng erng(util::splitmix64(trial_seed ^ kEdgeTag));
-  const graph::EdgeId eid =
-      static_cast<graph::EdgeId>(erng.next_below(topo.graph.num_edges()));
-  core::EdgeDetectionOptions eopt;
-  eopt.detect.k = cell.k;
-  eopt.drop = drop;
-  eopt.delivery = cell.delivery;
-  const core::EdgeDetectionResult result =
-      core::detect_cycle_through_edge(sim, topo.graph.edge(eid), eopt);
-  out.rejected = result.found;
-  out.overflow = result.overflow;
-  out.truncated = !result.stats.halted;
-  out.max_bundle = result.max_bundle_sequences;
-  out.rounds = result.stats.rounds_executed;
-  out.messages = result.stats.total_messages;
-  out.bits = result.stats.total_bits;
-  out.max_link_bits = result.stats.max_link_bits;
-  out.dropped = result.stats.dropped_messages;
+  core::Verdict verdict = cell.algo->run(sim, opt);
+  out.rejected = !verdict.accepted;
+  out.overflow = verdict.overflow;
+  out.truncated = verdict.truncated;
+  out.max_bundle = verdict.max_bundle_sequences;
+  out.rounds = verdict.stats.rounds_executed;
+  out.messages = verdict.stats.total_messages;
+  out.bits = verdict.stats.total_bits;
+  out.max_link_bits = verdict.stats.max_link_bits;
+  out.dropped = verdict.stats.dropped_messages;
+  out.repetitions = verdict.repetitions;
+  DECYCLE_CHECK_MSG(verdict.counters.size() == cell.algo->counters().size(),
+                    "detector '" + std::string(cell.algo->name()) + "' returned " +
+                        std::to_string(verdict.counters.size()) + " counter values for a " +
+                        std::to_string(cell.algo->counters().size()) +
+                        "-entry counter table — run() and counters() drifted apart");
+  out.counters = std::move(verdict.counters);
   return out;
 }
 
@@ -134,12 +93,6 @@ CellResult LabRunner::run_cell(const ScenarioCell& cell) const {
   CellResult res;
   res.cell = cell;
   res.trials = cell.trials;
-  if (cell.algo == Algo::kTester) {
-    res.repetitions = cell.repetitions != 0 ? cell.repetitions
-                                            : core::recommended_repetitions(cell.epsilon);
-  } else if (cell.algo == Algo::kThreshold) {
-    res.repetitions = cell.repetitions != 0 ? cell.repetitions : 1;  // sweeps
-  }
 
   // Shared-graph policy: one topology per cell, built before the lanes so
   // every lane sees the same instance.
@@ -193,6 +146,10 @@ CellResult LabRunner::run_cell(const ScenarioCell& cell) const {
 
   // Serial reduction in trial order (sums are integers except the
   // certificate mean, whose fixed summation order keeps it deterministic).
+  // Counter aggregation is generic: each counter folds per its declared
+  // kind, whatever algorithm the cell ran.
+  const std::span<const core::CounterDef> counter_defs = cell.algo->counters();
+  res.counters.assign(counter_defs.size(), 0);
   double cert_sum = 0.0;
   for (const TrialOutcome& t : outcomes) {
     cert_sum += t.certified_epsilon;
@@ -208,16 +165,20 @@ CellResult LabRunner::run_cell(const ScenarioCell& cell) const {
     res.overflow_trials += t.overflow ? 1 : 0;
     res.dropped_total += t.dropped;
     res.truncated_trials += t.truncated ? 1 : 0;
-    res.seeded_total += t.threshold.seeded_executions;
-    res.seed_capped_total += t.threshold.seed_capped;
-    res.evictions_total += t.threshold.evictions;
-    res.discarded_seqs_total += t.threshold.discarded_sequences;
-    res.budget_truncated_total += t.threshold.budget_truncated;
-    res.peak_tracked = std::max<std::uint64_t>(res.peak_tracked, t.threshold.peak_tracked);
+    for (std::size_t c = 0; c < counter_defs.size(); ++c) {
+      if (counter_defs[c].kind == core::CounterKind::kMax) {
+        res.counters[c] = std::max(res.counters[c], t.counters[c]);
+      } else {
+        res.counters[c] += t.counters[c];
+      }
+    }
   }
   // Every trial of a cell runs the same family, so trial 0 speaks for the
-  // cell's ground truth in fresh-graph mode too.
+  // cell's ground truth in fresh-graph mode too — and the same detector
+  // with the same knobs, so trial 0's resolved repetition count speaks for
+  // the cell as well.
   res.truth = outcomes.front().truth;
+  res.repetitions = outcomes.front().repetitions;
   if (!shared) res.certified_epsilon = cert_sum / static_cast<double>(cell.trials);
   res.reject_interval = util::wilson_interval(res.rejections, res.trials);
   res.soundness_violation = res.truth == GroundTruth::kCkFree && res.rejections > 0;
@@ -244,7 +205,16 @@ std::vector<CellResult> LabRunner::run_matrix(std::span<const ScenarioCell> cell
   return results;
 }
 
+std::uint64_t CellResult::counter(std::string_view name) const {
+  const std::span<const core::CounterDef> defs = cell.algo->counters();
+  for (std::size_t c = 0; c < defs.size() && c < counters.size(); ++c) {
+    if (defs[c].name == name) return counters[c];
+  }
+  return 0;
+}
+
 std::string CellResult::to_json(bool include_timing) const {
+  const core::DetectorCapabilities& caps = cell.algo->capabilities();
   const double trials_d = static_cast<double>(trials);
   JsonWriter w;
   w.begin_object()
@@ -255,14 +225,14 @@ std::string CellResult::to_json(bool include_timing) const {
       .field("eps", cell.epsilon)
       .field("n", cell.n)
       .field("adversary", cell.adversary.name())
-      .field("algo", algo_name(cell.algo))
+      .field("algo", cell.algo->name())
       .field("seed_mode", seed_mode_name(cell.seed_mode))
       .field("delivery",
              cell.delivery == congest::DeliveryMode::kArena ? "arena" : "legacy")
       .field("trials", trials)
       .field("cell_seed", cell.cell_seed());
-  if (cell.algo != Algo::kEdgeChecker) w.field("repetitions", repetitions);
-  if (cell.algo == Algo::kThreshold) {
+  if (caps.has_repetitions) w.field("repetitions", repetitions);
+  if (caps.uses_threshold_knobs) {
     w.field("budget", cell.budget.name()).field("track", cell.track);
   }
   w.key("graph").begin_object().field("description", description).field(
@@ -290,13 +260,12 @@ std::string CellResult::to_json(bool include_timing) const {
       .field("overflow_trials", overflow_trials)
       .field("dropped_total", dropped_total)
       .field("truncated_trials", truncated_trials);
-  if (cell.algo == Algo::kThreshold) {
-    w.field("seeded_total", seeded_total)
-        .field("seed_capped_total", seed_capped_total)
-        .field("evictions_total", evictions_total)
-        .field("discarded_seqs_total", discarded_seqs_total)
-        .field("budget_truncated_total", budget_truncated_total)
-        .field("peak_tracked", peak_tracked);
+  // Detector counters flow through generically: emitted in table order
+  // under their table names (the threshold family's seeded_total …
+  // peak_tracked fields keep their pre-registry bytes).
+  const std::span<const core::CounterDef> counter_defs = cell.algo->counters();
+  for (std::size_t c = 0; c < counter_defs.size() && c < counters.size(); ++c) {
+    if (counter_defs[c].emit) w.field(counter_defs[c].name, counters[c]);
   }
   w.field("soundness_violation", soundness_violation);
   if (include_timing) w.field("elapsed_s", elapsed_seconds);
@@ -336,7 +305,7 @@ std::string meta_record(const ScenarioSpec& spec, std::size_t num_cells) {
   for (const auto& a : spec.adversaries) w.value(a.name());
   w.end_array();
   w.key("algo").begin_array();
-  for (const Algo a : spec.algos) w.value(algo_name(a));
+  for (const core::Detector* a : spec.algos) w.value(a->name());
   w.end_array();
   w.end_object();  // axes
   w.end_object();

@@ -15,6 +15,7 @@
 #include <iosfwd>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "lab/scenario.hpp"
@@ -48,7 +49,9 @@ struct CellResult {
   std::uint64_t total_vertices = 0;  ///< sum over trials (1 topology: n * trials)
   std::uint64_t total_edges = 0;
   double certified_epsilon = 0.0;  ///< shared topology's certificate (0 for fresh mode)
-  std::size_t repetitions = 0;     ///< tester repetitions used (0 for edge_checker)
+  /// Repetitions / sweeps / iterations the detector resolved (Verdict::
+  /// repetitions); 0 for one-shot algorithms like the edge checker.
+  std::size_t repetitions = 0;
 
   std::uint64_t trials = 0;
   std::uint64_t rejections = 0;
@@ -63,23 +66,25 @@ struct CellResult {
   std::uint64_t overflow_trials = 0;
   std::uint64_t dropped_total = 0;
   /// Trials whose run hit the internal round cap instead of quiescing
-  /// (TestVerdict::truncated) — must stay 0; nonzero means a bound bug.
+  /// (Verdict::truncated) — must stay 0; nonzero means a bound bug.
   std::uint64_t truncated_trials = 0;
 
-  // Threshold-family aggregates (all 0 for the other algorithms); emitted
-  // in the JSON only for algo=threshold cells so existing records keep
-  // their bytes.
-  std::uint64_t seeded_total = 0;           ///< executions seeded across trials
-  std::uint64_t seed_capped_total = 0;      ///< incident edges unseeded (track cap)
-  std::uint64_t evictions_total = 0;        ///< executions evicted by priority
-  std::uint64_t discarded_seqs_total = 0;   ///< sequences for untracked executions
-  std::uint64_t budget_truncated_total = 0; ///< sequences cut by the link budget
-  std::uint64_t peak_tracked = 0;           ///< max concurrent executions at any node
+  /// Detector instrumentation, aligned index-for-index with the cell's
+  /// Detector::counters() table and aggregated per each counter's kind
+  /// (sum or max over trials). Counters marked emit are written to the
+  /// JSONL record under their table names — e.g. the threshold family's
+  /// seeded_total … peak_tracked — so algorithm-specific fields flow
+  /// through the runner without per-algorithm code.
+  std::vector<std::uint64_t> counters;
   /// True when a provably Ck-free instance produced a rejection — impossible
   /// while witness validation is on; nightly asserts it stays false.
   bool soundness_violation = false;
 
   double elapsed_seconds = 0.0;  ///< wall clock (reported only with include_timing)
+
+  /// Value of the named counter from the cell detector's table; 0 when the
+  /// detector declares no such counter (convenience for tests and benches).
+  [[nodiscard]] std::uint64_t counter(std::string_view name) const;
 
   /// One JSONL record (no trailing newline).
   [[nodiscard]] std::string to_json(bool include_timing) const;

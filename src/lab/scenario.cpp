@@ -362,15 +362,6 @@ std::string_view ground_truth_name(GroundTruth t) noexcept {
   return "unknown";
 }
 
-std::string_view algo_name(Algo a) noexcept {
-  switch (a) {
-    case Algo::kTester: return "tester";
-    case Algo::kEdgeChecker: return "edge_checker";
-    case Algo::kThreshold: return "threshold";
-  }
-  return "tester";
-}
-
 std::string_view seed_mode_name(SeedMode m) noexcept {
   return m == SeedMode::kSharedGraph ? "shared" : "fresh";
 }
@@ -441,7 +432,8 @@ std::string ScenarioCell::key() const {
   out += " eps=" + json_double(epsilon);
   out += " n=" + std::to_string(n);
   out += " adversary=" + adversary.name();
-  out += " algo=" + std::string(algo_name(algo));
+  DECYCLE_CHECK_MSG(algo != nullptr, "scenario cell has no detection algorithm");
+  out += " algo=" + std::string(algo->name());
   return out;
 }
 
@@ -492,18 +484,15 @@ ScenarioSpec ScenarioSpec::parse(std::span<const std::pair<std::string, std::str
         spec.adversaries.push_back(parse_adversary(token));
       }
     } else if (key == "algo") {
+      const core::DetectorRegistry& registry = core::DetectorRegistry::builtin();
       spec.algos.clear();
       for (const std::string& token : split_commas(value)) {
-        if (token == "tester") {
-          spec.algos.push_back(Algo::kTester);
-        } else if (token == "edge_checker") {
-          spec.algos.push_back(Algo::kEdgeChecker);
-        } else if (token == "threshold") {
-          spec.algos.push_back(Algo::kThreshold);
-        } else {
+        const core::Detector* detector = registry.find(token);
+        if (detector == nullptr) {
           fail("scenario key 'algo': unknown algorithm '" + token +
-               "' (known: tester, edge_checker, threshold)");
+               "' (known: " + registry.known_names() + ")");
         }
+        spec.algos.push_back(detector);
       }
     } else if (key == "trials") {
       spec.trials = parse_u64(key, value);
@@ -563,7 +552,12 @@ std::vector<ScenarioCell> ScenarioSpec::expand() const {
           const std::string err = validate_family(family, k, n);
           if (!err.empty()) fail("scenario matrix contains an unbuildable cell: " + err);
           for (const AdversarySpec& adversary : adversaries) {
-            for (const Algo algo : algos) {
+            for (const core::Detector* algo : algos) {
+              const std::string aerr =
+                  core::DetectorRegistry::builtin().validate_k(*algo, k);
+              if (!aerr.empty()) {
+                fail("scenario matrix contains an unsupported cell: " + aerr);
+              }
               ScenarioCell cell;
               cell.index = cells.size();
               cell.family = family;

@@ -20,18 +20,12 @@
 #include <vector>
 
 #include "congest/simulator.hpp"
+#include "core/detector.hpp"
 #include "core/threshold/budget.hpp"
 #include "graph/graph.hpp"
 #include "util/rng.hpp"
 
 namespace decycle::lab {
-
-/// Which algorithm a cell exercises: the full Theorem-1 tester, the
-/// deterministic single-edge checker (Phase 2 in isolation) on an edge
-/// drawn per trial, or the threshold-based all-edges family
-/// (core/threshold/) whose congestion is bounded by the spec's budget and
-/// track scalars.
-enum class Algo : std::uint8_t { kTester, kEdgeChecker, kThreshold };
 
 /// Seed policy. kSharedGraph builds one topology per cell (graph seed
 /// derived from the cell, trials vary only the algorithm seed) — this is
@@ -67,7 +61,11 @@ struct ScenarioCell {
   double epsilon = 0.1;
   std::uint64_t n = 64;  ///< family size parameter (vertices, or dimension for hypercube)
   AdversarySpec adversary;
-  Algo algo = Algo::kTester;
+  /// Which detection algorithm this cell exercises — a registry-owned
+  /// singleton from core::DetectorRegistry::builtin(), never null after
+  /// parsing. The registry is the single source of truth: any registered
+  /// detector whose capabilities admit (k, …) is a valid axis value.
+  const core::Detector* algo = core::DetectorRegistry::builtin().find("tester");
 
   // Shared scalars, copied from the spec for self-contained execution.
   SeedMode seed_mode = SeedMode::kSharedGraph;
@@ -97,7 +95,7 @@ struct ScenarioSpec {
   std::vector<double> epsilons = {0.1};
   std::vector<std::uint64_t> sizes = {64};
   std::vector<AdversarySpec> adversaries = {{}};
-  std::vector<Algo> algos = {Algo::kTester};
+  std::vector<const core::Detector*> algos = {core::DetectorRegistry::builtin().find("tester")};
 
   SeedMode seed_mode = SeedMode::kSharedGraph;
   congest::DeliveryMode delivery = congest::DeliveryMode::kArena;
@@ -119,11 +117,13 @@ struct ScenarioSpec {
 
   /// Cross product in fixed nesting order family > k > eps > n > adversary
   /// > algo (algo fastest). Validates every (family, k, n) combination —
-  /// e.g. ckfree_bipartite requires odd k — and throws on invalid cells.
+  /// e.g. ckfree_bipartite requires odd k — and every (algo, k) pair
+  /// against the detector's capabilities (e.g. algo=c4 accepts k=4 only),
+  /// throwing errors that name the accepted alternatives, so an unsupported
+  /// matrix never silently produces meaningless cells.
   [[nodiscard]] std::vector<ScenarioCell> expand() const;
 };
 
-[[nodiscard]] std::string_view algo_name(Algo a) noexcept;
 [[nodiscard]] std::string_view seed_mode_name(SeedMode m) noexcept;
 
 /// A topology built for one cell (or one fresh-graph trial).

@@ -22,8 +22,8 @@ TEST(ColorCoding, FindsPureCycles) {
     opt.iterations = color_coding_iterations(k, 1e-6);
     const auto result = find_cycle_color_coding(g, k, opt);
     EXPECT_TRUE(result.found) << "k=" << k;
-    EXPECT_EQ(result.cycle.size(), k);
-    EXPECT_TRUE(graph::validate_cycle(g, result.cycle));
+    EXPECT_EQ(result.witness.size(), k);
+    EXPECT_TRUE(graph::validate_cycle(g, result.witness));
   }
 }
 
@@ -57,7 +57,7 @@ TEST(ColorCoding, AgreesWithExactOracleOnRandomGraphs) {
       const auto result = find_cycle_color_coding(g, k, opt);
       if (result.found) {
         EXPECT_TRUE(exact);  // one-sided: found implies real
-        EXPECT_TRUE(graph::validate_cycle(g, result.cycle));
+        EXPECT_TRUE(graph::validate_cycle(g, result.witness));
       } else {
         EXPECT_FALSE(exact) << "missed a C" << k << " in " << opt.iterations << " iterations";
       }

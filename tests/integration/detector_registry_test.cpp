@@ -1,0 +1,126 @@
+/// Registry-wide oracle agreement: every registered detector — core
+/// algorithms and baselines alike — is driven through the one unified
+/// Detector interface and cross-checked against the exact DFS oracle on
+/// instances where its behaviour is (near-)deterministic. This generalizes
+/// the pairwise cross-tests: an algorithm added to the registry is pulled
+/// into the agreement harness automatically.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "core/detector.hpp"
+#include "graph/far_generators.hpp"
+#include "graph/generators.hpp"
+#include "graph/subgraph.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace decycle {
+namespace {
+
+using core::Detector;
+using core::DetectorOptions;
+using core::DetectorRegistry;
+using core::Verdict;
+
+/// A k each detector supports (the general ones get 5, c4 gets 4, triangle
+/// gets 3).
+unsigned supported_k(const Detector& d) {
+  return std::clamp(5u, d.capabilities().min_k, d.capabilities().max_k);
+}
+
+/// Options under which every registered detector detects C_k on the k-cycle
+/// (near-)certainly: unlimited threshold budgets make the sweep exhaustive,
+/// and 512 repetitions push the sampling testers' miss probability below
+/// 1e-8 on these instances.
+DetectorOptions certain_options(unsigned k) {
+  DetectorOptions opt;
+  opt.k = k;
+  opt.epsilon = 0.2;
+  opt.seed = 71;
+  opt.repetitions = 512;
+  opt.budget = core::threshold::BudgetSchedule::none();
+  opt.max_tracked = 0;
+  return opt;
+}
+
+TEST(DetectorRegistryCross, EveryDetectorRejectsTheKCycleWithAValidWitness) {
+  for (const Detector* det : DetectorRegistry::builtin().detectors()) {
+    const unsigned k = supported_k(*det);
+    const graph::Graph g = graph::cycle(k);
+    ASSERT_TRUE(graph::has_cycle(g, k));  // the oracle agrees this must fire
+    const auto ids = graph::IdAssignment::identity(g.num_vertices());
+    const Verdict v = det->run_fresh(g, ids, certain_options(k));
+    EXPECT_FALSE(v.accepted) << det->name() << " missed C_" << k << " on the k-cycle";
+    ASSERT_EQ(v.witness.size(), k) << det->name();
+    EXPECT_TRUE(graph::validate_cycle(g, v.witness)) << det->name();
+  }
+}
+
+TEST(DetectorRegistryCross, EveryDetectorAcceptsAcyclicAndHighGirthInstances) {
+  util::Rng rng(0xD1CE);
+  for (const Detector* det : DetectorRegistry::builtin().detectors()) {
+    const unsigned k = supported_k(*det);
+    const auto check_accepts = [&](const graph::Graph& g, const char* label) {
+      ASSERT_FALSE(graph::has_cycle(g, k)) << label;
+      const auto ids = graph::IdAssignment::identity(g.num_vertices());
+      const Verdict v = det->run_fresh(g, ids, certain_options(k));
+      EXPECT_TRUE(v.accepted) << det->name() << " fabricated a C_" << k << " on " << label;
+      EXPECT_TRUE(v.witness.empty()) << det->name();
+    };
+    check_accepts(graph::path(12), "a path");
+    check_accepts(graph::ck_free_instance(graph::CkFreeFamily::kHighGirth, k, 40, rng),
+                  "a girth-(>k) instance");
+  }
+}
+
+TEST(DetectorRegistryCross, AgreementWithTheOracleOnRandomGraphs) {
+  // On small random graphs with exhaustive settings, the deterministic
+  // detectors must agree with the DFS oracle exactly, and the randomized
+  // ones must stay one-sided (no rejection when the oracle says Ck-free)
+  // while their witnesses are always validated.
+  util::Rng rng(0xC1A0);
+  for (int trial = 0; trial < 6; ++trial) {
+    const graph::Graph g = graph::erdos_renyi_gnm(12, 18, rng);
+    const auto ids = graph::IdAssignment::identity(g.num_vertices());
+    for (const Detector* det : DetectorRegistry::builtin().detectors()) {
+      const unsigned k = supported_k(*det);
+      const bool exact = graph::has_cycle(g, k);
+      DetectorOptions opt = certain_options(k);
+      opt.seed = 911 + static_cast<std::uint64_t>(trial);
+      const Verdict v = det->run_fresh(g, ids, opt);
+      if (!exact) {
+        EXPECT_TRUE(v.accepted) << det->name() << " broke 1-sidedness, trial=" << trial;
+      } else if (std::string_view(det->name()) == "threshold" ||
+                 std::string_view(det->name()) == "color_coding") {
+        // Exhaustive sweep / ~512 colorings at k <= 5: agreement expected.
+        EXPECT_FALSE(v.accepted) << det->name() << " missed, trial=" << trial;
+      }
+      if (!v.accepted) {
+        EXPECT_TRUE(graph::validate_cycle(g, v.witness)) << det->name();
+      }
+    }
+  }
+}
+
+TEST(DetectorRegistryCross, EdgeCheckerHonorsAnExplicitTargetEdge) {
+  // The unified options carry the target edge; with it the checker is the
+  // deterministic Phase-2 subroutine and must match the per-edge oracle.
+  const core::Detector& checker = DetectorRegistry::builtin().require("edge_checker");
+  util::Rng rng(0xED6E);
+  const graph::Graph g = graph::erdos_renyi_gnm(12, 18, rng);
+  const auto ids = graph::IdAssignment::identity(g.num_vertices());
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto [u, v] = g.edge(e);
+    DetectorOptions opt;
+    opt.k = 5;
+    opt.edge = g.edge(e);
+    const Verdict verdict = checker.run_fresh(g, ids, opt);
+    EXPECT_EQ(!verdict.accepted, graph::has_cycle_through_edge(g, 5, u, v))
+        << "edge " << u << "-" << v;
+  }
+}
+
+}  // namespace
+}  // namespace decycle

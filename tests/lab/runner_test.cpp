@@ -25,11 +25,12 @@ std::string run_matrix_jsonl(const std::vector<std::string>& tokens, util::Threa
 }
 
 // The acceptance-criterion matrix: families with opposite ground truths,
-// all three algorithms, and a lossy adversary, kept small enough for CI.
+// core algorithms plus a registry baseline (color_coding spans k=4,5), and
+// a lossy adversary, kept small enough for CI.
 const std::vector<std::string> kMatrix = {
-    "family=planted,ckfree_highgirth",    "k=4,5",     "n=20",
-    "eps=0.15",                           "trials=10", "seed=33",
-    "algo=tester,edge_checker,threshold", "adversary=none,uniform:0.3"};
+    "family=planted,ckfree_highgirth",                 "k=4,5",     "n=20",
+    "eps=0.15",                                        "trials=10", "seed=33",
+    "algo=tester,edge_checker,threshold,color_coding", "adversary=none,uniform:0.3"};
 
 /// The lab determinism contract: byte-identical JSON for the same matrix at
 /// 1 and 8 threads, and with simulator reuse on or off.
@@ -41,6 +42,57 @@ TEST(LabRunner, ByteIdenticalAcrossThreadsAndReuse) {
       << "disabling Simulator reuse changed the bytes";
   util::ThreadPool pool3(3);
   EXPECT_EQ(serial, run_matrix_jsonl(kMatrix, &pool3, true)) << "3 threads changed the bytes";
+}
+
+/// Registry dispatch determinism for the baseline algorithms at their fixed
+/// k: the same 1/3/8-thread and reuse-on/off byte-identity contract the
+/// core algorithms honor — c4 and triangle additionally exercise the
+/// Simulator&-reset overloads the registry routes them through.
+TEST(LabRunner, BaselineAlgosByteIdenticalAcrossThreadsAndReuse) {
+  const std::vector<std::vector<std::string>> matrices = {
+      {"family=planted,ckfree_highgirth", "k=4", "n=20", "trials=10", "seed=44",
+       "algo=c4,color_coding", "adversary=none,uniform:0.3"},
+      {"family=planted,ckfree_bipartite", "k=3", "n=20", "trials=10", "seed=44",
+       "algo=triangle", "adversary=none,uniform:0.3"},
+  };
+  util::ThreadPool pool8(8);
+  util::ThreadPool pool3(3);
+  for (const auto& tokens : matrices) {
+    const std::string serial = run_matrix_jsonl(tokens, nullptr, true);
+    EXPECT_EQ(serial, run_matrix_jsonl(tokens, &pool8, true)) << "8 threads changed the bytes";
+    EXPECT_EQ(serial, run_matrix_jsonl(tokens, &pool8, false))
+        << "disabling Simulator reuse changed the bytes";
+    EXPECT_EQ(serial, run_matrix_jsonl(tokens, &pool3, true)) << "3 threads changed the bytes";
+  }
+}
+
+/// Baseline cells are full lab citizens: detection on instances their
+/// technique covers, soundness (validated witnesses) on free ones, and the
+/// generic counter pipeline for algorithm-specific instrumentation.
+TEST(LabRunner, BaselineAlgosDetectAndStaySound) {
+  const ScenarioSpec spec = ScenarioSpec::parse_tokens(
+      {"family=wheel", "k=3", "n=12", "trials=8", "seed=6", "algo=triangle", "reps=128"});
+  const LabRunner runner{LabOptions{}};
+  const auto results = runner.run_matrix(spec.expand());
+  ASSERT_EQ(results.size(), 1u);
+  // Every wheel vertex has a triangle through the hub; 128 sampling
+  // iterations make a miss vanishingly unlikely.
+  EXPECT_EQ(results[0].rejections, 8u);
+  EXPECT_EQ(results[0].repetitions, 128u);
+
+  const ScenarioSpec cc = ScenarioSpec::parse_tokens(
+      {"family=planted,ckfree_highgirth", "k=5", "n=20", "trials=6", "seed=9",
+       "algo=color_coding"});
+  for (const CellResult& res : runner.run_matrix(cc.expand())) {
+    if (res.truth == GroundTruth::kCkFree) {
+      EXPECT_EQ(res.rejections, 0u) << res.cell.key();
+      EXPECT_FALSE(res.soundness_violation);
+    } else {
+      EXPECT_EQ(res.rejections, res.trials) << res.cell.key();  // ⌈e^k·ln3⌉ auto iterations
+    }
+    EXPECT_GT(res.counter("iterations_total"), 0u);
+    EXPECT_NE(res.to_json(false).find("\"iterations_total\":"), std::string::npos);
+  }
 }
 
 TEST(LabRunner, FreshGraphModeIsDeterministicToo) {
@@ -105,7 +157,8 @@ TEST(LabRunner, ThresholdCellsDetectPlantedAndReportBudgetStats) {
   EXPECT_EQ(r.truth, GroundTruth::kFar);
   EXPECT_EQ(r.repetitions, 1u);  // one sweep by default
   EXPECT_GE(r.reject_interval.estimate, 2.0 / 3.0);
-  EXPECT_GT(r.seeded_total, 0u);
+  EXPECT_GT(r.counter("seeded_total"), 0u);
+  EXPECT_EQ(r.counter("nonexistent_counter"), 0u);
   EXPECT_EQ(r.truncated_trials, 0u);
   const std::string json = r.to_json(false);
   EXPECT_NE(json.find("\"algo\":\"threshold\""), std::string::npos);

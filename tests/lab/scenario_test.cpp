@@ -27,7 +27,8 @@ TEST(ScenarioSpec, DefaultsAreRunnable) {
   ASSERT_EQ(cells.size(), 1u);
   EXPECT_EQ(cells[0].family, "planted");
   EXPECT_EQ(cells[0].k, 5u);
-  EXPECT_EQ(cells[0].algo, Algo::kTester);
+  ASSERT_NE(cells[0].algo, nullptr);
+  EXPECT_EQ(cells[0].algo->name(), "tester");
 }
 
 TEST(ScenarioSpec, CommaListsAndRangesExpand) {
@@ -85,8 +86,8 @@ TEST(ScenarioSpec, ThresholdAlgoAndKnobsParse) {
   const ScenarioSpec spec = ScenarioSpec::parse_tokens(
       {"family=planted", "algo=threshold", "budget=4,8", "track=3"});
   ASSERT_EQ(spec.algos.size(), 1u);
-  EXPECT_EQ(spec.algos[0], Algo::kThreshold);
-  EXPECT_EQ(algo_name(Algo::kThreshold), "threshold");
+  ASSERT_NE(spec.algos[0], nullptr);
+  EXPECT_EQ(spec.algos[0]->name(), "threshold");
   EXPECT_EQ(spec.budget.name(), "4,8");
   EXPECT_EQ(spec.track, 3u);
   const auto cells = spec.expand();
@@ -128,6 +129,50 @@ TEST(ScenarioSpec, ExpandRejectsUnbuildableCells) {
   } catch (const util::CheckError& e) {
     EXPECT_NE(std::string(e.what()).find("odd k"), std::string::npos) << e.what();
   }
+}
+
+TEST(ScenarioSpec, BaselineAlgosParseFromTheRegistry) {
+  // The baselines are ordinary algo= axis values — parsed by registry
+  // lookup, not a hand-maintained list.
+  const ScenarioSpec spec =
+      ScenarioSpec::parse_tokens({"family=planted", "k=4", "algo=tester,c4,color_coding"});
+  ASSERT_EQ(spec.algos.size(), 3u);
+  EXPECT_EQ(spec.algos[1]->name(), "c4");
+  EXPECT_EQ(spec.algos[2]->name(), "color_coding");
+  EXPECT_EQ(spec.expand().size(), 3u);
+
+  // Unknown-algo errors name every registered detector.
+  const std::string err = parse_error({"algo=quantum"});
+  for (const char* known : {"tester", "edge_checker", "threshold", "c4", "triangle",
+                            "color_coding"}) {
+    EXPECT_NE(err.find(known), std::string::npos) << err;
+  }
+}
+
+TEST(ScenarioSpec, ExpandRejectsCapabilityViolations) {
+  // The FRST C4 technique provably fails for k >= 5; a matrix pairing
+  // algo=c4 with k=5 must fail loudly, naming the range and the registered
+  // alternatives that do accept k=5 — not silently run meaningless cells.
+  const ScenarioSpec spec = ScenarioSpec::parse_tokens({"family=planted", "k=5", "algo=c4"});
+  try {
+    (void)spec.expand();
+    FAIL() << "expected CheckError";
+  } catch (const util::CheckError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("'c4'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("k in [4, 4]"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("got k=5"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("tester"), std::string::npos) << msg;      // an accepted alternative
+    EXPECT_NE(msg.find("threshold"), std::string::npos) << msg;   // another one
+    EXPECT_EQ(msg.find("triangle"), std::string::npos) << msg;    // k=3 only: not suggested
+  }
+  // Only the k values actually out of range are rejected: triangle at k=3
+  // together with k=4 fails, alone it expands.
+  const ScenarioSpec ok = ScenarioSpec::parse_tokens({"family=planted", "k=3", "algo=triangle"});
+  EXPECT_EQ(ok.expand().size(), 1u);
+  const ScenarioSpec bad =
+      ScenarioSpec::parse_tokens({"family=planted", "k=3,4", "algo=triangle"});
+  EXPECT_THROW((void)bad.expand(), util::CheckError);
 }
 
 TEST(Adversary, ParseAndValidate) {

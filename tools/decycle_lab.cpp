@@ -13,16 +13,20 @@
 /// (one command line; wrapped here for readability)
 ///
 /// Runner flags (everything else is forwarded to the scenario parser):
-///   --threads=N   trial-level worker threads (0 = serial, default)
-///   --out=FILE    write JSONL to FILE instead of stdout
-///   --reuse=0|1   Simulator reuse across trials (default 1)
-///   --timing=0|1  add wall-clock fields (breaks golden diffs; default 0)
-///   --progress    per-cell progress lines on stderr
-///   --list        print the known graph families and exit
+///   --threads=N    trial-level worker threads (0 = serial, default)
+///   --out=FILE     write JSONL to FILE instead of stdout
+///   --reuse=0|1    Simulator reuse across trials (default 1)
+///   --timing=0|1   add wall-clock fields (breaks golden diffs; default 0)
+///   --progress     per-cell progress lines on stderr
+///   --list         print the known graph families and exit
+///   --list-algos   print every registered detector's name and capabilities
+///                  (k range, knobs) and exit — the authoritative list of
+///                  what algo= accepts
 #include <fstream>
 #include <iostream>
 #include <memory>
 
+#include "core/detector.hpp"
 #include "lab/runner.hpp"
 #include "lab/scenario.hpp"
 #include "util/check.hpp"
@@ -36,6 +40,14 @@ int main(int argc, char** argv) {
     if (args.get_bool("list", false)) {
       for (const lab::FamilyInfo& info : lab::known_families()) {
         std::cout << info.name << " — " << info.summary << "\n";
+      }
+      return 0;
+    }
+    if (args.get_bool("list-algos", false)) {
+      // Straight from the registry, so this listing can never drift from
+      // what the scenario parser actually accepts.
+      for (const core::Detector* d : core::DetectorRegistry::builtin().detectors()) {
+        std::cout << core::capability_line(*d) << "\n";
       }
       return 0;
     }
