@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <charconv>
 #include <numeric>
+#include <set>
 
 #include "graph/far_generators.hpp"
 #include "graph/generators.hpp"
@@ -446,7 +447,15 @@ std::uint64_t ScenarioCell::cell_seed() const {
 
 ScenarioSpec ScenarioSpec::parse(std::span<const std::pair<std::string, std::string>> pairs) {
   ScenarioSpec spec;
+  std::set<std::string, std::less<>> seen;
   for (const auto& [key, value] : pairs) {
+    // A silently overridden repeat would run a different matrix than half
+    // the command line reads (cf. util::Args, which rejects duplicate
+    // flags for the same reason — this guards the programmatic pair path).
+    if (!seen.insert(key).second) {
+      fail("scenario key '" + key +
+           "' given twice (merge the values into one comma list, e.g. " + key + "=v1,v2)");
+    }
     if (key == "family") {
       spec.families = split_commas(value);
       for (const std::string& name : spec.families) {

@@ -1,0 +1,270 @@
+#include "soak/campaign.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <optional>
+#include <ostream>
+#include <utility>
+
+#include "harness/estimator.hpp"
+#include "lab/json.hpp"
+#include "util/check.hpp"
+#include "util/stats.hpp"
+
+namespace decycle::soak {
+
+namespace {
+
+/// Everything one instance produces, stored by batch-local index so the
+/// serial reduction can never observe lane boundaries.
+struct InstanceOutcome {
+  SoakInstance instance;      ///< graph kept: the shrinker needs it on mismatch
+  DifferentialReport report;
+  std::string record;         ///< this instance's JSONL line
+  std::size_t runs = 0;
+  std::size_t rejections = 0;
+  bool far_audit = false;     ///< counts toward the completeness audit
+  bool far_rejected = false;  ///< the audited tester run rejected
+};
+
+std::string meta_record(const CampaignOptions& options) {
+  lab::JsonWriter w;
+  w.begin_object()
+      .field("type", "meta")
+      .field("tool", "decycle_soak")
+      .field("format", 1)
+      .field("seed", options.seed)
+      .field("instances_budget", options.instances)
+      .field("seconds_budget", options.seconds)
+      .field("shrink", options.shrink);
+  w.key("space")
+      .begin_object()
+      .field("min_k", options.space.min_k)
+      .field("max_k", options.space.max_k)
+      .field("min_n", options.space.min_n)
+      .field("max_n", options.space.max_n)
+      .field("default_reps_probability", options.space.default_reps_probability)
+      .end_object();
+  w.end_object();
+  return std::move(w).str();
+}
+
+std::string instance_record(const InstanceOutcome& o) {
+  const SoakInstance& inst = o.instance;
+  lab::JsonWriter w;
+  w.begin_object()
+      .field("type", "instance")
+      .field("index", inst.index)
+      .field("seed", inst.instance_seed)
+      .field("base", inst.base)
+      .field("k", inst.scenario.k)
+      .field("eps", inst.scenario.epsilon)
+      .field("n", std::uint64_t{inst.graph.num_vertices()})
+      .field("m", std::uint64_t{inst.graph.num_edges()})
+      .field("reps", std::uint64_t{inst.scenario.repetitions})
+      .field("budget", inst.scenario.budget.name())
+      .field("track", inst.scenario.track)
+      .field("adversary", inst.scenario.adversary.name())
+      .field("certified_far", inst.certified_far)
+      .field("oracle_has_ck", o.report.oracle.has_ck);
+  w.key("verdicts").begin_object();
+  for (const DetectorOutcome& d : o.report.outcomes) {
+    w.field(d.detector->name(), !d.ran ? "skip" : d.rejected ? "reject" : "accept");
+  }
+  w.end_object();
+  w.field("mismatches", std::uint64_t{o.report.mismatches});
+  w.end_object();
+  return std::move(w).str();
+}
+
+std::string mismatch_record(const MismatchRecord& m) {
+  lab::JsonWriter w;
+  w.begin_object()
+      .field("type", "mismatch")
+      .field("index", m.instance_index)
+      .field("detector", m.repro.detector)
+      .field("kind", mismatch_kind_name(m.repro.kind))
+      .field("detail", m.detail)
+      .field("original_vertices", m.original_vertices)
+      .field("original_edges", m.original_edges)
+      .field("shrunk_vertices", std::uint64_t{m.repro.graph.num_vertices()})
+      .field("shrunk_edges", std::uint64_t{m.repro.graph.num_edges()})
+      .field("shrink_probes", std::uint64_t{m.shrink_stats.probes})
+      .field("shrink_rounds", std::uint64_t{m.shrink_stats.rounds})
+      .field("shrink_converged", m.shrink_stats.converged)
+      .field("scenario", m.repro.scenario.key())
+      .field("repro", m.repro_path)
+      .end_object();
+  return std::move(w).str();
+}
+
+/// Shrinks one mismatch (serially, in index order) and optionally writes the
+/// repro file.
+MismatchRecord build_mismatch(const CampaignOptions& options, const InstanceOutcome& o,
+                              const DetectorOutcome& d) {
+  MismatchRecord m;
+  m.instance_index = o.instance.index;
+  m.detail = d.detail;
+  m.original_vertices = o.instance.graph.num_vertices();
+  m.original_edges = o.instance.graph.num_edges();
+  m.repro.detector = std::string(d.detector->name());
+  m.repro.kind = d.mismatch;
+  bool shrunk_ok = false;
+  if (options.shrink) {
+    try {
+      ShrinkOutcome shrunk =
+          shrink_mismatch(o.instance.scenario, o.instance.graph,
+                          mismatch_predicate(*d.detector, d.mismatch),
+                          options.shrink_options);
+      m.repro.scenario = std::move(shrunk.scenario);
+      m.repro.graph = std::move(shrunk.graph);
+      m.shrink_stats = shrunk.stats;
+      shrunk_ok = true;
+    } catch (const util::CheckError&) {
+      // The mismatch fired in the campaign's reused-simulator run but not
+      // on the shrinker's fresh-simulator replay — itself strong evidence
+      // (a reuse-contract or statefulness bug, exactly what the soak
+      // hunts). Ship the original instance unshrunk rather than aborting
+      // the campaign and losing every repro.
+      m.shrink_stats.converged = false;
+      m.detail += " [shrink skipped: mismatch did not reproduce on a fresh replay]";
+    }
+  }
+  if (!shrunk_ok) {
+    m.repro.scenario = o.instance.scenario;
+    m.repro.graph = o.instance.graph;
+  }
+  if (!options.repro_dir.empty()) {
+    m.repro_path = options.repro_dir + "/soak_repro_i" + std::to_string(m.instance_index) +
+                   "_" + m.repro.detector + ".txt";
+    std::ofstream out(m.repro_path, std::ios::binary);
+    DECYCLE_CHECK_MSG(out.good(), "cannot open repro file: " + m.repro_path);
+    write_repro(out, m.repro);
+    out.flush();
+    DECYCLE_CHECK_MSG(out.good(), "failed writing repro file: " + m.repro_path);
+  }
+  return m;
+}
+
+}  // namespace
+
+CampaignSummary run_campaign(const CampaignOptions& options) {
+  DECYCLE_CHECK_MSG(options.instances > 0 || options.seconds > 0.0,
+                    "campaign needs a budget: set instances (--instances) or a wall-clock "
+                    "limit (--seconds)");
+  // Validate the space up front — a bad bound must fail here, loudly, not
+  // inside a worker lane mid-batch.
+  const std::string space_err = options.space.validate();
+  DECYCLE_CHECK_MSG(space_err.empty(), space_err);
+  const core::DetectorRegistry& registry =
+      options.registry != nullptr ? *options.registry : core::DetectorRegistry::builtin();
+  const auto start = std::chrono::steady_clock::now();
+  const auto elapsed = [&start] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  };
+
+  CampaignSummary summary;
+  summary.jsonl = meta_record(options);
+  summary.jsonl.push_back('\n');
+
+  util::ThreadPool* pool = options.pool;
+  const std::size_t workers = pool != nullptr ? pool->size() : 1;
+  const std::size_t batch_size = std::max<std::size_t>(16, 4 * workers);
+
+  std::uint64_t next = 0;
+  std::vector<InstanceOutcome> outcomes;
+  for (;;) {
+    std::size_t count = batch_size;
+    if (options.instances > 0) {
+      count = static_cast<std::size_t>(
+          std::min<std::uint64_t>(count, options.instances - next));
+    }
+    if (count == 0) break;
+
+    // Parallel phase: draw + differential + record, into indexed slots.
+    outcomes.assign(count, InstanceOutcome{});
+    const std::size_t lanes = harness::lane_count(pool, count);
+    const auto run_lane = [&](std::size_t lane) {
+      const auto [begin, end] = harness::lane_range(count, lane, lanes);
+      for (std::size_t i = begin; i < end; ++i) {
+        InstanceOutcome& o = outcomes[i];
+        o.instance = options.space.draw(options.seed, next + i);
+        o.report = run_differential(o.instance.graph, o.instance.scenario, registry);
+        for (const DetectorOutcome& d : o.report.outcomes) {
+          if (!d.ran) continue;
+          ++o.runs;
+          o.rejections += d.rejected ? 1 : 0;
+        }
+        // Completeness audit: certified-far instances get one dedicated
+        // amplified drop-free run of the epsilon-driven detector — Theorem 1
+        // claims rejection w.p. >= 2/3 there, audited in aggregate.
+        if (o.instance.certified_far) {
+          const std::optional<bool> rejected =
+              amplified_far_rejects(o.instance.graph, o.instance.scenario, registry);
+          if (rejected.has_value()) {
+            o.far_audit = true;
+            o.far_rejected = *rejected;
+            ++o.runs;
+          }
+        }
+        o.record = instance_record(o);
+      }
+    };
+    if (lanes > 1) {
+      pool->for_indexed(lanes, run_lane);
+    } else {
+      run_lane(0);
+    }
+
+    // Serial reduction in index order: tallies, log lines, and shrinking.
+    for (InstanceOutcome& o : outcomes) {
+      ++summary.instances;
+      summary.detector_runs += o.runs;
+      summary.rejections += o.rejections;
+      summary.far_trials += o.far_audit ? 1 : 0;
+      summary.far_rejections += o.far_rejected ? 1 : 0;
+      summary.jsonl += o.record;
+      summary.jsonl.push_back('\n');
+      for (const DetectorOutcome& d : o.report.outcomes) {
+        if (d.mismatch == MismatchKind::kNone) continue;
+        summary.mismatches.push_back(build_mismatch(options, o, d));
+        summary.jsonl += mismatch_record(summary.mismatches.back());
+        summary.jsonl.push_back('\n');
+      }
+    }
+    next += count;
+    if (options.progress != nullptr) {
+      *options.progress << "[soak] instances=" << next
+                        << " mismatches=" << summary.mismatches.size() << "\n";
+    }
+    if (options.instances > 0 && next >= options.instances) break;
+    if (options.seconds > 0.0 && elapsed() >= options.seconds) break;
+  }
+
+  // The audit is meaningful only with a sample. At 20 trials the Wilson
+  // upper bound stays above 2/3 for any plausible run of a healthy tester
+  // (whose observed rate is ~1), and still collapses below it decisively
+  // when completeness is genuinely broken.
+  const util::ProportionInterval far =
+      util::wilson_interval(summary.far_rejections, summary.far_trials);
+  summary.completeness_violation = summary.far_trials >= 20 && far.high < 2.0 / 3.0;
+
+  lab::JsonWriter w;
+  w.begin_object()
+      .field("type", "summary")
+      .field("instances", summary.instances)
+      .field("detector_runs", summary.detector_runs)
+      .field("rejections", summary.rejections)
+      .field("mismatches", std::uint64_t{summary.mismatches.size()})
+      .field("far_trials", summary.far_trials)
+      .field("far_rejections", summary.far_rejections)
+      .field("far_wilson_high", far.high)
+      .field("completeness_violation", summary.completeness_violation)
+      .end_object();
+  summary.jsonl += std::move(w).str();
+  summary.jsonl.push_back('\n');
+  return summary;
+}
+
+}  // namespace decycle::soak

@@ -1,0 +1,182 @@
+#include "soak/differential.hpp"
+
+#include <utility>
+
+#include "graph/ids.hpp"
+#include "graph/subgraph.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace decycle::soak {
+
+namespace {
+
+// Seed-stream tags: the probe edge and the drop coin draw from streams
+// derived from scenario.seed alone, so a repro file (scenario line + edge
+// list) replays the identical run without carrying either explicitly.
+constexpr std::uint64_t kProbeTag = 0x70726f62655f5f31ULL;  // "probe__1"
+constexpr std::uint64_t kDropTag = 0x64726f705f5f5f32ULL;   // "drop___2"
+constexpr std::uint64_t kRunTag = 0x72756e5f5f5f5f31ULL;    // "run____1"
+
+/// Per-(scenario, detector) run seed: fold the detector name so sibling
+/// detectors never share a random stream.
+std::uint64_t run_seed(const SoakScenario& s, std::string_view detector) {
+  std::uint64_t h = util::splitmix64(s.seed ^ kRunTag);
+  for (const char c : detector) h = util::splitmix64(h ^ static_cast<unsigned char>(c));
+  return h;
+}
+
+/// Whether this run is in a regime where accept must equal the oracle:
+/// drop-free, and the detector advertises determinism through its
+/// capability flags — draws_edge (the single-edge checker is exact per
+/// Lemma 2) or threshold knobs with nothing capped (an unlimited sweep is an
+/// exhaustive parallel edge scan). Injected test detectors must not set
+/// these flags unless they honor the corresponding exactness.
+bool exact_regime(const core::DetectorCapabilities& caps, const SoakScenario& s) {
+  if (s.adversary.kind != lab::AdversarySpec::Kind::kNone && s.adversary.rate > 0.0) {
+    return false;
+  }
+  if (caps.draws_edge) return true;
+  return caps.uses_threshold_knobs && s.budget.unlimited() && s.track == 0;
+}
+
+DetectorOutcome run_one(const graph::Graph& g, const SoakScenario& s,
+                        const core::Detector& d, const OracleContext& oracle,
+                        congest::Simulator& sim) {
+  DetectorOutcome out;
+  out.detector = &d;
+  const core::DetectorCapabilities& caps = d.capabilities();
+  if (s.k < caps.min_k || s.k > caps.max_k) return out;
+  if (caps.draws_edge && !oracle.has_probe) return out;
+  out.ran = true;
+  out.exact_regime = exact_regime(caps, s);
+
+  core::DetectorOptions opt;
+  opt.k = s.k;
+  opt.epsilon = s.epsilon;
+  opt.seed = run_seed(s, d.name());
+  opt.repetitions = s.repetitions;
+  // A centralized reference left on its own default would run ⌈e^k·ln3⌉
+  // colorings — thousands per instance. The soak caps it: accepts are never
+  // per-instance mismatches for probabilistic detectors, so a smaller
+  // iteration count only trades detection rate for throughput.
+  if (!caps.distributed && opt.repetitions == 0) opt.repetitions = 32;
+  opt.budget = s.budget;
+  opt.max_tracked = s.track;
+  if (caps.draws_edge) opt.edge = oracle.probe;
+  opt.drop = lab::make_drop_filter(s.adversary, util::splitmix64(s.seed ^ kDropTag));
+
+  core::Verdict verdict;
+  try {
+    verdict = d.run(sim, opt);
+  } catch (const util::CheckError& e) {
+    // The library's internal witness validation (and any other invariant)
+    // throwing mid-run IS the soundness violation the soak hunts; surface it
+    // as a shrinkable mismatch instead of crashing the campaign.
+    out.rejected = true;
+    out.mismatch = MismatchKind::kUnsound;
+    out.detail = "run threw: " + std::string(e.what());
+    return out;
+  }
+
+  out.rejected = !verdict.accepted;
+  if (out.rejected) {
+    if (verdict.witness.size() != s.k || !graph::validate_cycle(g, verdict.witness)) {
+      out.mismatch = MismatchKind::kUnsound;
+      out.detail = "rejected without a genuine C_" + std::to_string(s.k) +
+                   " witness (witness length " + std::to_string(verdict.witness.size()) + ")";
+    } else if (!oracle.has_ck) {
+      out.mismatch = MismatchKind::kUnsound;
+      out.detail = "rejected but the oracle finds no C_" + std::to_string(s.k);
+    }
+    return out;
+  }
+
+  if (out.exact_regime && !verdict.overflow && !verdict.truncated) {
+    const bool oracle_found = caps.draws_edge ? oracle.probe_has_ck : oracle.has_ck;
+    if (oracle_found) {
+      out.mismatch = MismatchKind::kMissedCycle;
+      out.detail = caps.draws_edge
+                       ? "accepted although the oracle finds a C_" + std::to_string(s.k) +
+                             " through probe edge {" + std::to_string(oracle.probe.first) +
+                             "," + std::to_string(oracle.probe.second) + "}"
+                       : "exact-regime accept although the oracle finds a C_" +
+                             std::to_string(s.k);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string_view mismatch_kind_name(MismatchKind kind) noexcept {
+  switch (kind) {
+    case MismatchKind::kNone: return "none";
+    case MismatchKind::kUnsound: return "unsound";
+    case MismatchKind::kMissedCycle: return "missed_cycle";
+  }
+  return "none";
+}
+
+MismatchKind parse_mismatch_kind(std::string_view token) {
+  if (token == "none") return MismatchKind::kNone;
+  if (token == "unsound") return MismatchKind::kUnsound;
+  if (token == "missed_cycle") return MismatchKind::kMissedCycle;
+  DECYCLE_CHECK_MSG(false, "unknown mismatch kind '" + std::string(token) +
+                               "' (known: none, unsound, missed_cycle)");
+}
+
+OracleContext oracle_context(const graph::Graph& g, const SoakScenario& s) {
+  OracleContext out;
+  out.has_ck = graph::has_cycle(g, s.k);
+  if (g.num_edges() > 0) {
+    out.has_probe = true;
+    util::Rng prng(util::splitmix64(s.seed ^ kProbeTag));
+    out.probe = g.edge(static_cast<graph::EdgeId>(prng.next_below(g.num_edges())));
+    out.probe_has_ck = graph::has_cycle_through_edge(g, s.k, out.probe.first, out.probe.second);
+  }
+  return out;
+}
+
+DifferentialReport run_differential(const graph::Graph& g, const SoakScenario& s,
+                                    const core::DetectorRegistry& registry) {
+  DifferentialReport report;
+  report.oracle = oracle_context(g, s);
+  const graph::IdAssignment ids = graph::IdAssignment::identity(g.num_vertices());
+  congest::Simulator sim(g, ids);  // one build, reset by every distributed detector
+  report.outcomes.reserve(registry.size());
+  for (const core::Detector* d : registry.detectors()) {
+    report.outcomes.push_back(run_one(g, s, *d, report.oracle, sim));
+    if (report.outcomes.back().mismatch != MismatchKind::kNone) ++report.mismatches;
+  }
+  return report;
+}
+
+MismatchKind check_detector(const graph::Graph& g, const SoakScenario& s,
+                            const core::Detector& detector, std::string* detail) {
+  const OracleContext oracle = oracle_context(g, s);
+  const graph::IdAssignment ids = graph::IdAssignment::identity(g.num_vertices());
+  congest::Simulator sim(g, ids);
+  const DetectorOutcome outcome = run_one(g, s, detector, oracle, sim);
+  if (detail != nullptr) *detail = outcome.detail;
+  return outcome.mismatch;
+}
+
+std::optional<bool> amplified_far_rejects(const graph::Graph& g, const SoakScenario& s,
+                                          const core::DetectorRegistry& registry) {
+  for (const core::Detector* d : registry.detectors()) {
+    const core::DetectorCapabilities& caps = d->capabilities();
+    if (!caps.uses_epsilon) continue;
+    if (s.k < caps.min_k || s.k > caps.max_k) return std::nullopt;
+    SoakScenario audit = s;
+    audit.repetitions = 0;  // the amplified default Theorem 1 speaks about
+    audit.adversary = lab::AdversarySpec{};
+    const OracleContext oracle = oracle_context(g, audit);
+    const graph::IdAssignment ids = graph::IdAssignment::identity(g.num_vertices());
+    congest::Simulator sim(g, ids);
+    return run_one(g, audit, *d, oracle, sim).rejected;
+  }
+  return std::nullopt;
+}
+
+}  // namespace decycle::soak

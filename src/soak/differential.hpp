@@ -1,0 +1,104 @@
+/// \file differential.hpp
+/// \brief The differential contract: every detector vs the DFS oracle.
+///
+/// A soak instance is run through every capability-compatible detector of a
+/// registry, and every verdict is cross-checked:
+///
+///   * soundness (all detectors, all adversaries) — a rejection must carry a
+///     witness that is a genuine C_k of the instance (validate_cycle, length
+///     exactly k). The one-sided-error guarantee is unconditional, so a
+///     rejection without such a witness — including a run that throws — is a
+///     mismatch of kind kUnsound.
+///   * exactness (drop-free runs only) — detectors that advertise an exact
+///     regime must agree with the oracle in it: a draws_edge detector's
+///     accept is checked against the oracle's cycle search through its probe
+///     edge, and a threshold-knob detector with an unlimited budget and
+///     untracked executions is an exhaustive scan whose accept must match
+///     has_cycle. An accept where the oracle finds a cycle is kMissedCycle.
+///
+/// Probabilistic accepts (amplified tester under drops, sampling baselines)
+/// are never per-instance mismatches; their aggregate behaviour is audited
+/// at campaign level (see campaign.hpp). Detectors disagreeing with *each
+/// other* reduce to these two kinds: any valid rejection proves the cycle
+/// exists, so an exact-regime accept on the same instance is a mismatch
+/// against the oracle, not merely against a peer.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "congest/simulator.hpp"
+#include "core/detector.hpp"
+#include "graph/graph.hpp"
+#include "soak/space.hpp"
+
+namespace decycle::soak {
+
+enum class MismatchKind : std::uint8_t {
+  kNone,         ///< verdict consistent with the contract
+  kUnsound,      ///< rejected without a genuine C_k witness (or run threw)
+  kMissedCycle,  ///< exact-regime accept although the oracle finds a cycle
+};
+
+[[nodiscard]] std::string_view mismatch_kind_name(MismatchKind kind) noexcept;
+
+/// Parses "none" / "unsound" / "missed_cycle"; throws CheckError naming the
+/// accepted kinds otherwise.
+[[nodiscard]] MismatchKind parse_mismatch_kind(std::string_view token);
+
+/// Oracle facts shared by every detector run of one instance.
+struct OracleContext {
+  bool has_ck = false;        ///< exact DFS: does the instance contain a C_k?
+  bool has_probe = false;     ///< instance has edges (draws_edge detectors run)
+  graph::Edge probe{};        ///< the target edge handed to draws_edge detectors
+  bool probe_has_ck = false;  ///< oracle: C_k through the probe edge?
+};
+
+/// Computes the oracle facts for (g, scenario). The probe edge is drawn from
+/// a stream derived from scenario.seed, so replays and shrink probes agree
+/// on the target without carrying it in the repro file.
+[[nodiscard]] OracleContext oracle_context(const graph::Graph& g, const SoakScenario& s);
+
+/// One detector's differential outcome on one instance.
+struct DetectorOutcome {
+  const core::Detector* detector = nullptr;
+  bool ran = false;       ///< false = capability-gated out (record says "skip")
+  bool rejected = false;  ///< verdict (meaningful when ran)
+  bool exact_regime = false;
+  MismatchKind mismatch = MismatchKind::kNone;
+  std::string detail;  ///< human-readable mismatch reason (empty when kNone)
+};
+
+struct DifferentialReport {
+  OracleContext oracle;
+  std::vector<DetectorOutcome> outcomes;  ///< registry order, gated ones included
+  std::size_t mismatches = 0;
+};
+
+/// Runs every detector of \p registry on (g, scenario) — one Simulator built
+/// per call and reset by each distributed detector (the reuse contract) —
+/// and classifies every verdict. Defaults to the built-in registry.
+[[nodiscard]] DifferentialReport run_differential(
+    const graph::Graph& g, const SoakScenario& s,
+    const core::DetectorRegistry& registry = core::DetectorRegistry::builtin());
+
+/// Re-checks a single detector on (g, scenario): the primitive the shrinker
+/// probes and `decycle_soak --repro` replays. Pure function of its inputs.
+[[nodiscard]] MismatchKind check_detector(const graph::Graph& g, const SoakScenario& s,
+                                          const core::Detector& detector,
+                                          std::string* detail = nullptr);
+
+/// Campaign completeness-audit primitive: runs the registry's first
+/// epsilon-driven detector at its amplified default repetitions, drop-free,
+/// and reports whether it rejected. nullopt when no registered detector is
+/// epsilon-driven or the scenario's k is outside its range. The campaign
+/// calls this on certified-far instances only — Theorem 1 then claims
+/// rejection with probability >= 2/3 per run, which the campaign audits in
+/// aggregate.
+[[nodiscard]] std::optional<bool> amplified_far_rejects(
+    const graph::Graph& g, const SoakScenario& s,
+    const core::DetectorRegistry& registry = core::DetectorRegistry::builtin());
+
+}  // namespace decycle::soak

@@ -1,0 +1,131 @@
+#include "soak/repro.hpp"
+
+#include <charconv>
+#include <istream>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <string_view>
+#include <vector>
+
+#include "graph/io.hpp"
+#include "lab/json.hpp"
+#include "util/check.hpp"
+
+namespace decycle::soak {
+
+namespace {
+
+constexpr std::string_view kAcceptedKeys =
+    "detector, kind, k, eps, reps, budget, track, adversary, seed";
+
+[[noreturn]] void fail(const std::string& msg) { DECYCLE_CHECK_MSG(false, msg); }
+
+std::uint64_t parse_u64(std::string_view key, std::string_view value) {
+  std::uint64_t out = 0;
+  const auto [ptr, ec] = std::from_chars(value.data(), value.data() + value.size(), out);
+  if (ec != std::errc() || ptr != value.data() + value.size()) {
+    fail("repro scenario key '" + std::string(key) + "': expected unsigned integer, got '" +
+         std::string(value) + "'");
+  }
+  return out;
+}
+
+double parse_double(std::string_view key, std::string_view value) {
+  double out = 0;
+  const auto [ptr, ec] = std::from_chars(value.data(), value.data() + value.size(), out);
+  if (ec != std::errc() || ptr != value.data() + value.size()) {
+    fail("repro scenario key '" + std::string(key) + "': expected number, got '" +
+         std::string(value) + "'");
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_repro(std::ostream& out, const ReproCase& repro) {
+  out << "# decycle_soak repro v1\n";
+  out << "# replay: decycle_soak --repro <this file>\n";
+  out << "scenario detector=" << repro.detector << " kind=" << mismatch_kind_name(repro.kind)
+      << " " << repro.scenario.key() << "\n";
+  graph::write_edge_list(out, repro.graph);
+}
+
+ReproCase read_repro(std::istream& in) {
+  // The scenario line is the first non-comment, non-empty line; everything
+  // after it is the standard edge list (which skips comments itself).
+  std::string line;
+  for (;;) {
+    if (!std::getline(in, line)) fail("repro file: missing 'scenario' line");
+    if (line.empty() || line[0] == '#') continue;
+    break;
+  }
+  std::istringstream ls(line);
+  std::string head;
+  ls >> head;
+  if (head != "scenario") {
+    fail("repro file: expected a line starting with 'scenario', got '" + head + "'");
+  }
+
+  ReproCase repro;
+  bool have_detector = false;
+  bool have_k = false;
+  std::set<std::string> seen;
+  std::string token;
+  while (ls >> token) {
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      fail("repro scenario token '" + token + "' is not of the form key=value");
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    if (!seen.insert(key).second) {
+      fail("repro scenario key '" + key + "' given twice");
+    }
+    if (key == "detector") {
+      if (value.empty()) fail("repro scenario key 'detector': empty name");
+      repro.detector = value;
+      have_detector = true;
+    } else if (key == "kind") {
+      repro.kind = parse_mismatch_kind(value);
+    } else if (key == "k") {
+      repro.scenario.k = static_cast<unsigned>(parse_u64(key, value));
+      have_k = true;
+    } else if (key == "eps") {
+      repro.scenario.epsilon = parse_double(key, value);
+    } else if (key == "reps") {
+      repro.scenario.repetitions = parse_u64(key, value);
+    } else if (key == "budget") {
+      repro.scenario.budget = core::threshold::BudgetSchedule::parse(value);
+    } else if (key == "track") {
+      repro.scenario.track = parse_u64(key, value);
+    } else if (key == "adversary") {
+      repro.scenario.adversary = lab::parse_adversary(value);
+    } else if (key == "seed") {
+      repro.scenario.seed = parse_u64(key, value);
+    } else {
+      fail("unknown repro scenario key '" + key + "' (accepted: " + std::string(kAcceptedKeys) +
+           ")");
+    }
+  }
+  if (!have_detector) {
+    fail("repro scenario line is missing the 'detector' key (accepted keys: " +
+         std::string(kAcceptedKeys) + ")");
+  }
+  if (!have_k) {
+    fail("repro scenario line is missing the 'k' key (accepted keys: " +
+         std::string(kAcceptedKeys) + ")");
+  }
+  repro.graph = graph::read_edge_list(in);
+  return repro;
+}
+
+ReplayResult replay_repro(const ReproCase& repro, const core::DetectorRegistry& registry) {
+  const core::Detector& detector = registry.require(repro.detector);
+  ReplayResult out;
+  out.observed = check_detector(repro.graph, repro.scenario, detector, &out.detail);
+  out.reproduced = out.observed == repro.kind;
+  return out;
+}
+
+}  // namespace decycle::soak

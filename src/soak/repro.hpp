@@ -1,0 +1,64 @@
+/// \file repro.hpp
+/// \brief Self-contained mismatch reproducer files.
+///
+/// A repro is everything needed to replay one differential mismatch
+/// deterministically, in two plain-text parts:
+///
+///   # decycle_soak repro v1            (comment lines, ignored)
+///   scenario detector=tester kind=unsound k=5 eps=0.125 reps=1 [...]
+///                                      (one line: ... budget, track,
+///                                       adversary, seed)
+///   6 6                                (edge list: "n m" header...)
+///   0 1                                (...then m edges — graph/io.hpp)
+///   ...
+///
+/// The scenario line carries the detector name, the expected mismatch kind,
+/// and every knob of SoakScenario; the graph travels as the standard edge
+/// list. Nothing else is needed: probe edges and drop coins re-derive from
+/// the scenario seed. `decycle_soak --repro FILE` loads the case and asserts
+/// the recorded kind still reproduces. Parsing is loud in the lab parser's
+/// tradition: unknown keys, bad kinds, and malformed values name the
+/// accepted alternatives.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/detector.hpp"
+#include "graph/graph.hpp"
+#include "soak/differential.hpp"
+#include "soak/space.hpp"
+
+namespace decycle::soak {
+
+/// One recorded mismatch: scenario knobs + detector + kind + instance.
+struct ReproCase {
+  SoakScenario scenario;
+  std::string detector;  ///< registry name
+  MismatchKind kind = MismatchKind::kUnsound;
+  graph::Graph graph;
+};
+
+/// Writes the repro format above. Deterministic bytes (write → read → write
+/// round-trips identically).
+void write_repro(std::ostream& out, const ReproCase& repro);
+
+/// Parses the repro format. Throws CheckError on unknown/duplicate/missing
+/// scenario keys, bad kinds, or malformed edge lists — each message naming
+/// the accepted alternatives.
+[[nodiscard]] ReproCase read_repro(std::istream& in);
+
+struct ReplayResult {
+  MismatchKind observed = MismatchKind::kNone;
+  bool reproduced = false;  ///< observed == recorded kind
+  std::string detail;       ///< mismatch detail from the replayed run
+};
+
+/// Replays \p repro: looks the detector up in \p registry (throws CheckError
+/// naming the registered detectors when absent) and re-runs the differential
+/// check. Pure, so a repro replays bit-identically forever.
+[[nodiscard]] ReplayResult replay_repro(
+    const ReproCase& repro,
+    const core::DetectorRegistry& registry = core::DetectorRegistry::builtin());
+
+}  // namespace decycle::soak

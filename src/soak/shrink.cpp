@@ -1,0 +1,140 @@
+#include "soak/shrink.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace decycle::soak {
+
+namespace {
+
+/// Probes one candidate, spending budget; adopts it into (scenario, g) on
+/// success. Returns false (without probing) once the budget is exhausted.
+class Prober {
+ public:
+  Prober(const ShrinkPredicate& pred, const ShrinkOptions& options, ShrinkStats& stats)
+      : pred_(pred), options_(options), stats_(stats) {}
+
+  [[nodiscard]] bool exhausted() const { return stats_.probes >= options_.max_probes; }
+
+  bool try_adopt(SoakScenario& scenario, graph::Graph& g, const SoakScenario& cand_scenario,
+                 graph::Graph cand_graph) {
+    if (exhausted()) {
+      stats_.converged = false;
+      return false;
+    }
+    ++stats_.probes;
+    if (!pred_(cand_scenario, cand_graph)) return false;
+    scenario = cand_scenario;
+    g = std::move(cand_graph);
+    return true;
+  }
+
+ private:
+  const ShrinkPredicate& pred_;
+  const ShrinkOptions& options_;
+  ShrinkStats& stats_;
+};
+
+/// One knob-tightening sweep: adversary off, repetitions down to one, budget
+/// and tracking caps off. Each move probed independently, kept only if the
+/// mismatch survives.
+void tighten_scalars(SoakScenario& scenario, graph::Graph& g, Prober& prober) {
+  if (scenario.adversary.kind != lab::AdversarySpec::Kind::kNone) {
+    SoakScenario cand = scenario;
+    cand.adversary = lab::AdversarySpec{};
+    (void)prober.try_adopt(scenario, g, cand, g);
+  }
+  if (scenario.repetitions != 1) {
+    SoakScenario cand = scenario;
+    cand.repetitions = 1;
+    (void)prober.try_adopt(scenario, g, cand, g);
+  }
+  if (!scenario.budget.unlimited() || scenario.track != 0) {
+    SoakScenario cand = scenario;
+    cand.budget = core::threshold::BudgetSchedule::none();
+    cand.track = 0;
+    (void)prober.try_adopt(scenario, g, cand, g);
+  }
+}
+
+/// One pass of single-vertex deletions, highest vertex first (deleting v
+/// only renumbers vertices above it, so descending order keeps the indices
+/// of not-yet-probed candidates stable within the pass). Returns true if
+/// anything was deleted.
+bool vertex_pass(SoakScenario& scenario, graph::Graph& g, Prober& prober) {
+  bool changed = false;
+  for (graph::Vertex v = g.num_vertices(); v-- > 0;) {
+    if (g.num_vertices() <= 1 || prober.exhausted()) break;
+    changed |= prober.try_adopt(scenario, g, scenario, remove_vertex(g, v));
+  }
+  return changed;
+}
+
+/// One pass of single-edge deletions, highest edge id first (same stability
+/// argument as the vertex pass).
+bool edge_pass(SoakScenario& scenario, graph::Graph& g, Prober& prober) {
+  bool changed = false;
+  for (graph::EdgeId id = static_cast<graph::EdgeId>(g.num_edges()); id-- > 0;) {
+    if (prober.exhausted()) break;
+    changed |= prober.try_adopt(scenario, g, scenario, remove_edge(g, id));
+  }
+  return changed;
+}
+
+}  // namespace
+
+graph::Graph remove_vertex(const graph::Graph& g, graph::Vertex v) {
+  graph::GraphBuilder b(g.num_vertices() > 0 ? g.num_vertices() - 1 : 0);
+  for (const graph::Edge& e : g.edges()) {
+    if (e.first == v || e.second == v) continue;
+    b.add_edge(e.first > v ? e.first - 1 : e.first, e.second > v ? e.second - 1 : e.second);
+  }
+  return b.build();
+}
+
+graph::Graph remove_edge(const graph::Graph& g, graph::EdgeId id) {
+  graph::GraphBuilder b(g.num_vertices());
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (e == id) continue;
+    b.add_edge(g.edge(e).first, g.edge(e).second);
+  }
+  return b.build();
+}
+
+ShrinkOutcome shrink_mismatch(const SoakScenario& scenario, const graph::Graph& g,
+                              const ShrinkPredicate& reproduces, const ShrinkOptions& options) {
+  DECYCLE_CHECK_MSG(reproduces(scenario, g),
+                    "shrink_mismatch called on an input that does not reproduce the mismatch");
+  ShrinkOutcome out;
+  out.scenario = scenario;
+  out.graph = g;
+  Prober prober(reproduces, options, out.stats);
+
+  // Knobs first: a simpler scenario usually makes the deletion probes
+  // cheaper (no amplified repetitions, no drop coin), then deletion passes
+  // to a fixpoint, then knobs again — a smaller graph may allow a
+  // tightening that the original did not.
+  tighten_scalars(out.scenario, out.graph, prober);
+  bool changed = true;
+  while (changed && out.stats.rounds < options.max_rounds && !prober.exhausted()) {
+    ++out.stats.rounds;
+    changed = vertex_pass(out.scenario, out.graph, prober);
+    changed |= edge_pass(out.scenario, out.graph, prober);
+  }
+  if (changed && (out.stats.rounds >= options.max_rounds || prober.exhausted())) {
+    out.stats.converged = false;
+  }
+  tighten_scalars(out.scenario, out.graph, prober);
+  return out;
+}
+
+ShrinkPredicate mismatch_predicate(const core::Detector& d, MismatchKind kind) {
+  const core::Detector* detector = &d;
+  return [detector, kind](const SoakScenario& scenario, const graph::Graph& g) {
+    return check_detector(g, scenario, *detector) == kind;
+  };
+}
+
+}  // namespace decycle::soak

@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include "core/cycle_detector.hpp"
+#include "core/detector.hpp"
 #include "core/tester.hpp"
 #include "graph/generators.hpp"
 #include "graph/subgraph.hpp"
@@ -94,6 +95,59 @@ TEST(SoundnessFuzz, EdgeCheckerExactInRepresentativeMode) {
       const auto result = core::detect_cycle_through_edge(g, ids, e, opt);
       EXPECT_EQ(result.found, graph::has_cycle_through_edge(g, k, e.first, e.second))
           << "trial=" << trial << " k=" << k << " edge=(" << e.first << "," << e.second << ")";
+    }
+  }
+}
+
+/// The shared witness-validation check every detector's rejection must pass:
+/// a genuine C_k witness (right length, a real cycle of g) and an oracle
+/// that agrees a C_k exists. One definition for all six algorithms.
+void expect_sound_rejection(const graph::Graph& g, unsigned k, const core::Verdict& verdict,
+                            std::string_view detector, int trial) {
+  EXPECT_EQ(verdict.witness.size(), k)
+      << detector << " trial=" << trial << ": rejection witness has the wrong length";
+  EXPECT_TRUE(graph::validate_cycle(g, verdict.witness))
+      << detector << " trial=" << trial << ": rejection witness is not a cycle of g";
+  EXPECT_TRUE(graph::has_cycle(g, k))
+      << detector << " trial=" << trial << ": rejected a Ck-free graph";
+}
+
+TEST(SoundnessFuzz, RegistryDetectorsNeverFabricateCycles) {
+  // Every registered algorithm — the FO17 tester, the single-edge checker,
+  // the threshold family, both specialized baselines, and the centralized
+  // reference — through the same random (graph, ids, k, drops) stream and
+  // the same witness-validation check. The registry makes this a loop over
+  // detectors instead of six hand-rolled harnesses (this file predates it).
+  const core::DetectorRegistry& registry = core::DetectorRegistry::builtin();
+  util::Rng rng(0xF005);
+  for (int trial = 0; trial < 60; ++trial) {
+    const Graph g = random_instance(rng);
+    const IdAssignment ids = random_ids(g, rng);
+    const auto k = static_cast<unsigned>(3 + rng.next_below(6));
+
+    core::DetectorOptions opt;
+    opt.k = k;
+    opt.epsilon = 0.25;
+    opt.repetitions = 1 + rng.next_below(4);
+    opt.seed = rng();
+    if (rng.next_bool(0.3)) {
+      const std::uint64_t drop_seed = rng();
+      opt.drop = [drop_seed](std::uint64_t round, graph::Vertex from, graph::Vertex to) {
+        std::uint64_t h = util::splitmix64(drop_seed ^ util::splitmix64(round));
+        h = util::splitmix64(h ^ from);
+        h = util::splitmix64(h ^ to);
+        return (h & 7) == 0;  // 12.5% loss
+      };
+    }
+
+    for (const core::Detector* detector : registry.detectors()) {
+      const core::DetectorCapabilities& caps = detector->capabilities();
+      if (k < caps.min_k || k > caps.max_k) continue;
+      if (caps.draws_edge && g.num_edges() == 0) continue;
+      const core::Verdict verdict = detector->run_fresh(g, ids, opt);
+      if (!verdict.accepted) {
+        expect_sound_rejection(g, k, verdict, detector->name(), trial);
+      }
     }
   }
 }

@@ -115,6 +115,56 @@ TEST(ScenarioSpec, BadRangesAreRejected) {
   EXPECT_NE(parse_error({"n=3..9:0"}).find("step must be positive"), std::string::npos);
 }
 
+TEST(ScenarioSpec, MalformedRangeNamesTheKeyAndTheOffendingRange) {
+  // The error must carry enough to fix the command line: the key it was
+  // parsed under and the literal range that is empty.
+  const std::string err = parse_error({"n=100..10"});
+  EXPECT_NE(err.find("scenario key 'n'"), std::string::npos) << err;
+  EXPECT_NE(err.find("100..10"), std::string::npos) << err;
+  EXPECT_NE(err.find("empty (lo > hi)"), std::string::npos) << err;
+}
+
+TEST(ScenarioSpec, DuplicateKeysAreRejectedWithTheMergeHint) {
+  // parse() consumes (key, value) pairs; a repeated key would silently
+  // override half the matrix. The message names the key and the accepted
+  // alternative (one comma list).
+  const std::string err = parse_error({"k=4", "k=5"});
+  EXPECT_NE(err.find("scenario key 'k' given twice"), std::string::npos) << err;
+  EXPECT_NE(err.find("k=v1,v2"), std::string::npos) << err;
+  // Any key, not just axes.
+  EXPECT_NE(parse_error({"trials=2", "trials=3"}).find("given twice"), std::string::npos);
+  // Distinct keys still parse.
+  EXPECT_EQ(parse_error({"k=4", "n=16"}), "");
+}
+
+TEST(ScenarioSpec, UnknownAdversaryNamesTheAcceptedOnes) {
+  const std::string err = parse_error({"adversary=gamma:0.1"});
+  EXPECT_NE(err.find("unknown adversary 'gamma'"), std::string::npos) << err;
+  for (const char* accepted : {"none", "uniform:R", "oneway:R", "late:R"}) {
+    EXPECT_NE(err.find(accepted), std::string::npos) << err;
+  }
+}
+
+TEST(ScenarioSpec, CapabilityViolationNamesTheAcceptingAlternatives) {
+  // algo=triangle is k=3 only; the k=5 cell must die at expand() naming the
+  // detector's range and every registered algorithm that does accept k=5.
+  const ScenarioSpec spec =
+      ScenarioSpec::parse_tokens({"family=planted", "k=5", "algo=triangle"});
+  try {
+    (void)spec.expand();
+    FAIL() << "expected CheckError";
+  } catch (const util::CheckError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("'triangle'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("k in [3, 3]"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("algorithms accepting k=5"), std::string::npos) << msg;
+    for (const char* accepted : {"tester", "edge_checker", "threshold"}) {
+      EXPECT_NE(msg.find(accepted), std::string::npos) << msg;
+    }
+    EXPECT_EQ(msg.find("c4"), std::string::npos) << msg;  // k=4 only: not suggested
+  }
+}
+
 TEST(ScenarioSpec, TokensMustBeKeyValue) {
   EXPECT_NE(parse_error({"--family"}).find("not of the form key=value"), std::string::npos);
 }

@@ -1,0 +1,158 @@
+#include "soak/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "fault_injection.hpp"
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace decycle::soak {
+namespace {
+
+std::size_t count_lines(const std::string& text, const std::string& type) {
+  const std::string needle = "\"type\":\"" + type + "\"";
+  std::size_t count = 0;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find(needle) != std::string::npos) ++count;
+  }
+  return count;
+}
+
+TEST(Campaign, RequiresABudget) {
+  EXPECT_THROW((void)run_campaign(CampaignOptions{}), util::CheckError);
+}
+
+TEST(Campaign, LogIsByteIdenticalAcrossThreadCounts) {
+  CampaignOptions opts;
+  opts.seed = 9;
+  opts.instances = 40;
+  const CampaignSummary serial = run_campaign(opts);
+
+  util::ThreadPool pool3(3);
+  opts.pool = &pool3;
+  const CampaignSummary threaded3 = run_campaign(opts);
+  EXPECT_EQ(serial.jsonl, threaded3.jsonl);
+
+  util::ThreadPool pool8(8);
+  opts.pool = &pool8;
+  const CampaignSummary threaded8 = run_campaign(opts);
+  EXPECT_EQ(serial.jsonl, threaded8.jsonl);
+}
+
+TEST(Campaign, BuiltinRegistryRunsCleanAndLogsEveryInstance) {
+  CampaignOptions opts;
+  opts.seed = 4;
+  opts.instances = 60;
+  const CampaignSummary summary = run_campaign(opts);
+  EXPECT_EQ(summary.instances, 60u);
+  EXPECT_TRUE(summary.mismatches.empty());
+  EXPECT_FALSE(summary.failed());
+  EXPECT_GT(summary.detector_runs, summary.instances);  // several detectors per instance
+  EXPECT_EQ(count_lines(summary.jsonl, "meta"), 1u);
+  EXPECT_EQ(count_lines(summary.jsonl, "instance"), 60u);
+  EXPECT_EQ(count_lines(summary.jsonl, "mismatch"), 0u);
+  EXPECT_EQ(count_lines(summary.jsonl, "summary"), 1u);
+}
+
+TEST(Campaign, SecondsBudgetStopsAfterABatch) {
+  CampaignOptions opts;
+  opts.seed = 2;
+  opts.seconds = 0.05;
+  const CampaignSummary summary = run_campaign(opts);
+  EXPECT_GE(summary.instances, 16u);  // at least one batch ran
+}
+
+TEST(Campaign, PlantedFaultIsCaughtShrunkAndWrittenAsAReplayableRepro) {
+  core::DetectorRegistry registry;
+  registry.add(std::make_unique<soak_test::FaultyRejector>());
+
+  const std::string dir = ::testing::TempDir() + "soak_campaign_repros";
+  std::filesystem::create_directories(dir);
+  CampaignOptions opts;
+  opts.seed = 21;
+  opts.instances = 12;
+  opts.registry = &registry;
+  opts.repro_dir = dir;
+  const CampaignSummary summary = run_campaign(opts);
+
+  // Most random instances contain some cycle, so the fault fires a lot.
+  ASSERT_FALSE(summary.mismatches.empty());
+  EXPECT_TRUE(summary.failed());
+  EXPECT_EQ(count_lines(summary.jsonl, "mismatch"), summary.mismatches.size());
+  for (const MismatchRecord& m : summary.mismatches) {
+    EXPECT_EQ(m.repro.kind, MismatchKind::kUnsound);
+    // Shrunk: never larger than the original, and tiny in practice (the
+    // fault only needs one cycle to fire).
+    EXPECT_LE(m.repro.graph.num_vertices(), m.original_vertices);
+    EXPECT_LE(m.repro.graph.num_vertices(), 12u);
+    ASSERT_FALSE(m.repro_path.empty());
+    std::ifstream in(m.repro_path);
+    ASSERT_TRUE(in.good()) << m.repro_path;
+    const ReproCase loaded = read_repro(in);
+    const ReplayResult replayed = replay_repro(loaded, registry);
+    EXPECT_TRUE(replayed.reproduced) << m.repro_path;
+  }
+}
+
+TEST(Campaign, NonReplayableMismatchDegradesToAnUnshrunkRepro) {
+  // A stateful detector (rejects exactly once) mismatches in the campaign
+  // run but not on the shrinker's fresh replay. The campaign must keep the
+  // evidence — original instance, annotated detail — not abort mid-flight.
+  core::DetectorRegistry registry;
+  registry.add(std::make_unique<soak_test::OneShotRejector>());
+  CampaignOptions opts;
+  opts.seed = 5;
+  opts.instances = 8;
+  opts.registry = &registry;
+  const CampaignSummary summary = run_campaign(opts);
+  EXPECT_EQ(summary.instances, 8u);  // the campaign completed
+  ASSERT_EQ(summary.mismatches.size(), 1u);
+  const MismatchRecord& m = summary.mismatches[0];
+  EXPECT_EQ(m.repro.kind, MismatchKind::kUnsound);
+  EXPECT_EQ(m.repro.graph.num_vertices(), m.original_vertices);  // unshrunk
+  EXPECT_FALSE(m.shrink_stats.converged);
+  EXPECT_NE(m.detail.find("shrink skipped"), std::string::npos) << m.detail;
+  EXPECT_NE(summary.jsonl.find("shrink skipped"), std::string::npos);
+}
+
+TEST(Campaign, RejectsAnInvalidSpaceUpFront) {
+  CampaignOptions opts;
+  opts.instances = 4;
+  opts.space.max_n = 4;  // below the fixed minimum: would underflow the draw
+  try {
+    (void)run_campaign(opts);
+    FAIL() << "expected CheckError";
+  } catch (const util::CheckError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("soak space"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("n bounds"), std::string::npos) << msg;
+  }
+}
+
+TEST(Campaign, ShrinkCanBeDisabled) {
+  core::DetectorRegistry registry;
+  registry.add(std::make_unique<soak_test::FaultyRejector>());
+  CampaignOptions opts;
+  opts.seed = 21;
+  opts.instances = 12;
+  opts.registry = &registry;
+  opts.shrink = false;
+  const CampaignSummary summary = run_campaign(opts);
+  ASSERT_FALSE(summary.mismatches.empty());
+  // Unshrunk repros keep the original instance verbatim.
+  for (const MismatchRecord& m : summary.mismatches) {
+    EXPECT_EQ(m.repro.graph.num_vertices(), m.original_vertices);
+    EXPECT_EQ(m.shrink_stats.probes, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace decycle::soak

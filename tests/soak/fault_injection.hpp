@@ -1,0 +1,95 @@
+/// Planted-fault detectors for soak-subsystem tests: deliberately broken
+/// implementations of the Detector interface that the differential layer
+/// must catch, and the shrinker must reduce. Test-only — never registered
+/// in the builtin registry.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string_view>
+
+#include "core/detector.hpp"
+#include "graph/subgraph.hpp"
+
+namespace decycle::soak_test {
+
+/// Unsound by construction: claims "cycle found" whenever the instance
+/// contains ANY cycle (of any length), with no witness. On a Ck-free
+/// instance that still has cycles — e.g. a lone C_{k+1} — this is exactly
+/// the planted soundness violation the differential must flag as kUnsound,
+/// and the structure the shrinker must reduce to the bare offending cycle.
+class FaultyRejector final : public core::Detector {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "faulty_rejector"; }
+
+  [[nodiscard]] const core::DetectorCapabilities& capabilities() const noexcept override {
+    static constexpr core::DetectorCapabilities caps{
+        .min_k = 3,
+        .max_k = 64,
+        .distributed = false,
+        .summary = "test fault: rejects on any cycle, witnessless"};
+    return caps;
+  }
+
+  [[nodiscard]] core::Verdict run(congest::Simulator& sim,
+                                  const core::DetectorOptions&) const override {
+    core::Verdict v;
+    v.accepted = !graph::girth(sim.graph()).has_value();
+    v.rejecting_nodes = v.accepted ? 0 : 1;
+    return v;
+  }
+};
+
+/// Incomplete by construction: advertises the threshold-exact capability
+/// surface but accepts everything. In the unlimited drop-free regime the
+/// differential must flag its accepts on cyclic instances as kMissedCycle.
+class SleepyAcceptor final : public core::Detector {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "sleepy_acceptor"; }
+
+  [[nodiscard]] const core::DetectorCapabilities& capabilities() const noexcept override {
+    static constexpr core::DetectorCapabilities caps{
+        .min_k = 3,
+        .max_k = 64,
+        .uses_threshold_knobs = true,
+        .distributed = false,
+        .summary = "test fault: accepts everything"};
+    return caps;
+  }
+
+  [[nodiscard]] core::Verdict run(congest::Simulator&,
+                                  const core::DetectorOptions&) const override {
+    return {};
+  }
+};
+
+/// Stateful by construction (detectors must be pure): rejects, witnessless,
+/// only on its FIRST run in the process. The campaign sees the mismatch,
+/// but the shrinker's fresh replay cannot reproduce it — the campaign must
+/// degrade to an unshrunk repro instead of aborting.
+class OneShotRejector final : public core::Detector {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "one_shot_rejector"; }
+
+  [[nodiscard]] const core::DetectorCapabilities& capabilities() const noexcept override {
+    static constexpr core::DetectorCapabilities caps{
+        .min_k = 3,
+        .max_k = 64,
+        .distributed = false,
+        .summary = "test fault: rejects exactly once, then accepts forever"};
+    return caps;
+  }
+
+  [[nodiscard]] core::Verdict run(congest::Simulator&,
+                                  const core::DetectorOptions&) const override {
+    core::Verdict v;
+    v.accepted = fired_.exchange(true);
+    v.rejecting_nodes = v.accepted ? 0 : 1;
+    return v;
+  }
+
+ private:
+  mutable std::atomic<bool> fired_{false};
+};
+
+}  // namespace decycle::soak_test

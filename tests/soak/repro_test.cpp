@@ -1,0 +1,136 @@
+#include "soak/repro.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "graph/generators.hpp"
+#include "util/check.hpp"
+
+namespace decycle::soak {
+namespace {
+
+/// Parses \p text and returns the CheckError message (empty = no throw).
+std::string read_error(const std::string& text) {
+  std::istringstream in(text);
+  try {
+    (void)read_repro(in);
+  } catch (const util::CheckError& e) {
+    return e.what();
+  }
+  return {};
+}
+
+ReproCase sample_case() {
+  ReproCase repro;
+  repro.scenario.k = 6;
+  repro.scenario.epsilon = 0.125;
+  repro.scenario.repetitions = 2;
+  repro.scenario.budget = core::threshold::BudgetSchedule::parse("4,8");
+  repro.scenario.track = 3;
+  repro.scenario.adversary = lab::parse_adversary("oneway:0.25");
+  repro.scenario.seed = 31337;
+  repro.detector = "tester";
+  repro.kind = MismatchKind::kMissedCycle;
+  repro.graph = graph::cycle(6);
+  return repro;
+}
+
+TEST(Repro, WriteReadWriteRoundTripsByteIdentically) {
+  const ReproCase repro = sample_case();
+  std::ostringstream first;
+  write_repro(first, repro);
+  std::istringstream in(first.str());
+  const ReproCase loaded = read_repro(in);
+  EXPECT_EQ(loaded.detector, repro.detector);
+  EXPECT_EQ(loaded.kind, repro.kind);
+  EXPECT_EQ(loaded.scenario.key(), repro.scenario.key());
+  EXPECT_EQ(loaded.graph.num_vertices(), repro.graph.num_vertices());
+  EXPECT_EQ(loaded.graph.num_edges(), repro.graph.num_edges());
+  std::ostringstream second;
+  write_repro(second, loaded);
+  EXPECT_EQ(second.str(), first.str());
+}
+
+TEST(Repro, ScenarioLineToleratesLeadingComments) {
+  std::istringstream in(
+      "# a comment\n\n# another\n"
+      "scenario detector=tester kind=unsound k=5 seed=1\n"
+      "3 3\n0 1\n1 2\n0 2\n");
+  const ReproCase repro = read_repro(in);
+  EXPECT_EQ(repro.detector, "tester");
+  EXPECT_EQ(repro.kind, MismatchKind::kUnsound);
+  EXPECT_EQ(repro.scenario.k, 5u);
+  EXPECT_EQ(repro.graph.num_edges(), 3u);
+}
+
+TEST(Repro, UnknownKeyNamesTheAcceptedOnes) {
+  const std::string err =
+      read_error("scenario detector=tester k=5 flavor=spicy\n3 0\n");
+  EXPECT_NE(err.find("unknown repro scenario key 'flavor'"), std::string::npos) << err;
+  for (const char* accepted : {"detector", "kind", "eps", "budget", "adversary", "seed"}) {
+    EXPECT_NE(err.find(accepted), std::string::npos) << err;
+  }
+}
+
+TEST(Repro, DuplicateAndMalformedKeysAreLoud) {
+  EXPECT_NE(read_error("scenario detector=tester k=5 k=6\n3 0\n").find("given twice"),
+            std::string::npos);
+  EXPECT_NE(read_error("scenario detector=tester k five\n3 0\n").find("key=value"),
+            std::string::npos);
+  EXPECT_NE(read_error("scenario detector=tester k=abc\n3 0\n")
+                .find("expected unsigned integer"),
+            std::string::npos);
+  EXPECT_NE(read_error("scenario detector=tester k=5 kind=flaky\n3 0\n")
+                .find("unknown mismatch kind"),
+            std::string::npos);
+  // Unknown adversary / budget tokens go through the shared loud parsers.
+  EXPECT_NE(read_error("scenario detector=tester k=5 adversary=gamma:0.1\n3 0\n")
+                .find("unknown adversary"),
+            std::string::npos);
+}
+
+TEST(Repro, MissingRequiredKeysAreLoud) {
+  EXPECT_NE(read_error("scenario kind=unsound k=5\n3 0\n").find("missing the 'detector' key"),
+            std::string::npos);
+  EXPECT_NE(read_error("scenario detector=tester\n3 0\n").find("missing the 'k' key"),
+            std::string::npos);
+  EXPECT_NE(read_error("# only comments\n").find("missing 'scenario' line"),
+            std::string::npos);
+  EXPECT_NE(read_error("banana detector=tester\n").find("expected a line starting with"),
+            std::string::npos);
+}
+
+TEST(Repro, MalformedEdgeListsAreLoud) {
+  EXPECT_NE(read_error("scenario detector=tester k=5\n3 2\n0 1\n").find("truncated"),
+            std::string::npos);
+  EXPECT_NE(read_error("scenario detector=tester k=5\n3 1\n0 7\n").find("out of range"),
+            std::string::npos);
+}
+
+TEST(Repro, ReplayRejectsUnknownDetectorsNamingTheRegistry) {
+  ReproCase repro = sample_case();
+  repro.detector = "quantum";
+  try {
+    (void)replay_repro(repro);
+    FAIL() << "expected CheckError";
+  } catch (const util::CheckError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("'quantum'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("tester"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("color_coding"), std::string::npos) << msg;
+  }
+}
+
+TEST(Repro, ReplayOfAConsistentCaseDoesNotReproduce) {
+  // A healthy detector on a healthy instance: replay reports the observed
+  // kind (none) and reproduced=false against the recorded mismatch.
+  const ReproCase repro = sample_case();  // tester, recorded kMissedCycle
+  const ReplayResult result = replay_repro(repro);
+  EXPECT_EQ(result.observed, MismatchKind::kNone);
+  EXPECT_FALSE(result.reproduced);
+}
+
+}  // namespace
+}  // namespace decycle::soak
