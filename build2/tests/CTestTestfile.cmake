@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build2/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("baselines")
+subdirs("congest")
+subdirs("core")
+subdirs("fuzz")
+subdirs("graph")
+subdirs("harness")
+subdirs("integration")
+subdirs("lab")
+subdirs("soak")
+subdirs("util")

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/baselines
+# Build directory: /root/repo/build2/tests/baselines
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build2/tests/baselines/baselines_c4_test[1]_include.cmake")
+include("/root/repo/build2/tests/baselines/baselines_color_coding_test[1]_include.cmake")
+include("/root/repo/build2/tests/baselines/baselines_triangle_test[1]_include.cmake")
+set_directory_properties(PROPERTIES LABELS "tier1")

@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/congest
+# Build directory: /root/repo/build2/tests/congest
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build2/tests/congest/congest_aggregation_test[1]_include.cmake")
+include("/root/repo/build2/tests/congest/congest_algorithms_test[1]_include.cmake")
+include("/root/repo/build2/tests/congest/congest_message_test[1]_include.cmake")
+include("/root/repo/build2/tests/congest/congest_simulator_test[1]_include.cmake")
+set_directory_properties(PROPERTIES LABELS "tier1")

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/core
+# Build directory: /root/repo/build2/tests/core
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build2/tests/core/core_census_test[1]_include.cmake")
+include("/root/repo/build2/tests/core/core_cycle_detector_test[1]_include.cmake")
+include("/root/repo/build2/tests/core/core_detect_state_test[1]_include.cmake")
+include("/root/repo/build2/tests/core/core_detector_test[1]_include.cmake")
+include("/root/repo/build2/tests/core/core_erratum_test[1]_include.cmake")
+include("/root/repo/build2/tests/core/core_faults_test[1]_include.cmake")
+include("/root/repo/build2/tests/core/core_phase1_test[1]_include.cmake")
+include("/root/repo/build2/tests/core/core_protocol_sweep_test[1]_include.cmake")
+include("/root/repo/build2/tests/core/core_pruning_test[1]_include.cmake")
+include("/root/repo/build2/tests/core/core_representative_family_test[1]_include.cmake")
+include("/root/repo/build2/tests/core/core_scan_test[1]_include.cmake")
+include("/root/repo/build2/tests/core/core_sequence_test[1]_include.cmake")
+include("/root/repo/build2/tests/core/core_tester_test[1]_include.cmake")
+include("/root/repo/build2/tests/core/core_threshold_test[1]_include.cmake")
+include("/root/repo/build2/tests/core/core_trace_test[1]_include.cmake")
+include("/root/repo/build2/tests/core/core_witness_test[1]_include.cmake")
+set_directory_properties(PROPERTIES LABELS "tier1")

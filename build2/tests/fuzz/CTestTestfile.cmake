@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/fuzz
+# Build directory: /root/repo/build2/tests/fuzz
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build2/tests/fuzz/fuzz_message_fuzz_test[1]_include.cmake")
+include("/root/repo/build2/tests/fuzz/fuzz_soundness_fuzz_test[1]_include.cmake")
+set_directory_properties(PROPERTIES LABELS "tier1;fuzz")

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/graph
+# Build directory: /root/repo/build2/tests/graph
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build2/tests/graph/graph_analysis_test[1]_include.cmake")
+include("/root/repo/build2/tests/graph/graph_far_generators_test[1]_include.cmake")
+include("/root/repo/build2/tests/graph/graph_generators_test[1]_include.cmake")
+include("/root/repo/build2/tests/graph/graph_graph_test[1]_include.cmake")
+include("/root/repo/build2/tests/graph/graph_induced_test[1]_include.cmake")
+include("/root/repo/build2/tests/graph/graph_io_test[1]_include.cmake")
+include("/root/repo/build2/tests/graph/graph_packing_test[1]_include.cmake")
+include("/root/repo/build2/tests/graph/graph_subgraph_test[1]_include.cmake")
+include("/root/repo/build2/tests/graph/graph_topologies_test[1]_include.cmake")
+set_directory_properties(PROPERTIES LABELS "tier1")

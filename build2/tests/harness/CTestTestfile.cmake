@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/harness
+# Build directory: /root/repo/build2/tests/harness
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build2/tests/harness/harness_estimator_test[1]_include.cmake")
+set_directory_properties(PROPERTIES LABELS "tier1")

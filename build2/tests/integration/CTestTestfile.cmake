@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/integration
+# Build directory: /root/repo/build2/tests/integration
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build2/tests/integration/integration_detector_registry_test[1]_include.cmake")
+include("/root/repo/build2/tests/integration/integration_integration_test[1]_include.cmake")
+include("/root/repo/build2/tests/integration/integration_oracle_cross_test[1]_include.cmake")
+include("/root/repo/build2/tests/integration/integration_threshold_cross_test[1]_include.cmake")
+set_directory_properties(PROPERTIES LABELS "tier1;integration")

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/lab
+# Build directory: /root/repo/build2/tests/lab
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build2/tests/lab/lab_runner_test[1]_include.cmake")
+include("/root/repo/build2/tests/lab/lab_scenario_test[1]_include.cmake")
+include("/root/repo/build2/tests/lab/lab_seed_stability_test[1]_include.cmake")
+set_directory_properties(PROPERTIES LABELS "tier1")

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/soak
+# Build directory: /root/repo/build2/tests/soak
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build2/tests/soak/soak_campaign_test[1]_include.cmake")
+include("/root/repo/build2/tests/soak/soak_differential_test[1]_include.cmake")
+include("/root/repo/build2/tests/soak/soak_repro_test[1]_include.cmake")
+include("/root/repo/build2/tests/soak/soak_shrink_test[1]_include.cmake")
+include("/root/repo/build2/tests/soak/soak_space_test[1]_include.cmake")
+set_directory_properties(PROPERTIES LABELS "tier1;soak")

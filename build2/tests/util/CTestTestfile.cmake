@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/util
+# Build directory: /root/repo/build2/tests/util
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build2/tests/util/util_check_test[1]_include.cmake")
+include("/root/repo/build2/tests/util/util_cli_test[1]_include.cmake")
+include("/root/repo/build2/tests/util/util_hash_logging_test[1]_include.cmake")
+include("/root/repo/build2/tests/util/util_rng_test[1]_include.cmake")
+include("/root/repo/build2/tests/util/util_small_vector_test[1]_include.cmake")
+include("/root/repo/build2/tests/util/util_stats_test[1]_include.cmake")
+include("/root/repo/build2/tests/util/util_table_test[1]_include.cmake")
+include("/root/repo/build2/tests/util/util_thread_pool_test[1]_include.cmake")
+set_directory_properties(PROPERTIES LABELS "tier1")
