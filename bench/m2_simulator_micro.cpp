@@ -20,6 +20,7 @@
 /// violated). --smoke shrinks every instance for CI.
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -91,17 +92,6 @@ class RingRelay final : public congest::NodeProgram {
   std::uint64_t horizon_;
 };
 
-/// Circulant graph C_n(1..k): vertex v adjacent to v±1, ..., v±k (mod n).
-/// Exactly 2k-regular and deterministic — the configuration model cannot
-/// produce simple graphs at this degree, and the bench must not be flaky.
-graph::Graph circulant(graph::Vertex n, unsigned k) {
-  graph::GraphBuilder b(n);
-  for (graph::Vertex v = 0; v < n; ++v) {
-    for (unsigned j = 1; j <= k; ++j) b.add_edge(v, (v + j) % n);
-  }
-  return b.build();
-}
-
 struct Measurement {
   double seconds = 0;
   std::uint64_t messages = 0;
@@ -116,7 +106,8 @@ struct Scenario {
   std::size_t edges = 0;
   Measurement legacy;
   Measurement arena;
-  Measurement arena_pool4;  ///< sharded parallel delivery (informational)
+  /// Work-stealing delivery at each pool size of the --threads sweep.
+  std::vector<std::pair<unsigned, Measurement>> threaded;
 
   [[nodiscard]] double speedup() const {
     return legacy.seconds > 0 && arena.seconds > 0 ? legacy.seconds / arena.seconds : 0;
@@ -167,9 +158,20 @@ bool check(bool ok, const char* what) {
 int main(int argc, char** argv) {
   bool smoke = false;
   std::string out_path = "BENCH_simulator.json";
+  std::vector<unsigned> thread_counts = {2, 4, 8};
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
     if (std::strncmp(argv[i], "--out=", 6) == 0) out_path = argv[i] + 6;
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      thread_counts.clear();
+      for (const char* p = argv[i] + 10; *p != '\0';) {
+        char* end = nullptr;
+        const unsigned long t = std::strtoul(p, &end, 10);
+        if (end == p) break;
+        if (t > 0) thread_counts.push_back(static_cast<unsigned>(t));
+        p = *end == ',' ? end + 1 : end;
+      }
+    }
   }
   const int reps = smoke ? 1 : 3;
   bool ok = true;
@@ -180,7 +182,7 @@ int main(int argc, char** argv) {
   {
     const graph::Vertex n = smoke ? 2000 : 10000;
     const std::uint64_t horizon = smoke ? 6 : 16;
-    const graph::Graph g = circulant(n, 12);  // 24-regular
+    const graph::Graph g = graph::circulant(n, 12);  // 24-regular
     util::Rng id_rng(2);
     const graph::IdAssignment ids = graph::IdAssignment::shuffled(n, id_rng);
     const auto factory = [horizon](graph::Vertex) {
@@ -194,14 +196,16 @@ int main(int argc, char** argv) {
     s.arena = measure(g, ids, factory, DeliveryMode::kArena, reps, /*rerunnable=*/true);
     ok &= check(s.legacy.messages == s.arena.messages && s.legacy.rounds == s.arena.rounds,
                 "dense: legacy and arena disagree on totals");
-    // Sharded parallel delivery: informational on a small box, but it keeps
-    // the for_indexed/shard path measured and its totals cross-checked.
-    util::ThreadPool pool4(4);
-    s.arena_pool4 =
-        measure(g, ids, factory, DeliveryMode::kArena, reps, /*rerunnable=*/true, &pool4);
-    ok &= check(s.arena_pool4.messages == s.arena.messages &&
-                    s.arena_pool4.rounds == s.arena.rounds,
-                "dense: pooled arena disagrees with serial arena on totals");
+    // The --threads sweep: work-stealing delivery at each pool size, totals
+    // cross-checked against the serial arena run (determinism contract).
+    for (const unsigned t : thread_counts) {
+      util::ThreadPool pool(t);
+      const Measurement m =
+          measure(g, ids, factory, DeliveryMode::kArena, reps, /*rerunnable=*/true, &pool);
+      ok &= check(m.messages == s.arena.messages && m.rounds == s.arena.rounds,
+                  "dense: threaded arena disagrees with serial arena on totals");
+      s.threaded.emplace_back(t, m);
+    }
     scenarios.push_back(s);
   }
 
@@ -251,7 +255,7 @@ int main(int argc, char** argv) {
   std::uint64_t steady_rounds = 0;
   {
     const graph::Vertex n = smoke ? 1000 : 4000;
-    const graph::Graph g = circulant(n, 8);  // 16-regular
+    const graph::Graph g = graph::circulant(n, 8);  // 16-regular
     const graph::IdAssignment ids = graph::IdAssignment::identity(n);
     const std::uint64_t horizon = 12;
     Simulator sim(g, ids, [horizon](graph::Vertex) {
@@ -272,9 +276,9 @@ int main(int argc, char** argv) {
     std::printf("%-22s %12.4f %12.4f %14.3e %14.3e %8.2fx\n", s.name.c_str(),
                 s.legacy.seconds, s.arena.seconds, s.legacy.msgs_per_sec(),
                 s.arena.msgs_per_sec(), s.speedup());
-    if (s.arena_pool4.seconds > 0) {
-      std::printf("%-22s %12s %12.4f %14s %14.3e\n", "  + 4-thread shards", "",
-                  s.arena_pool4.seconds, "", s.arena_pool4.msgs_per_sec());
+    for (const auto& [t, m] : s.threaded) {
+      std::printf("  + %2u-thread steal    %12s %12.4f %14s %14.3e\n", t, "", m.seconds, "",
+                  m.msgs_per_sec());
     }
   }
   std::printf("zero-alloc steady state: %llu allocations over %llu rounds\n",
@@ -288,7 +292,6 @@ int main(int argc, char** argv) {
     std::fprintf(f, "  \"scenarios\": [\n");
     for (std::size_t i = 0; i < scenarios.size(); ++i) {
       const Scenario& s = scenarios[i];
-      const bool has_pool_entry = s.arena_pool4.seconds > 0;
       const bool last = i + 1 == scenarios.size();
       std::fprintf(f,
                    "    {\"name\": \"%s\", \"n\": %u, \"edges\": %zu,\n"
@@ -296,26 +299,23 @@ int main(int argc, char** argv) {
                    "\"messages\": %llu, \"rounds\": %llu, \"msgs_per_sec\": %.1f},\n"
                    "     \"after\":  {\"mode\": \"arena\", \"seconds\": %.6f, "
                    "\"messages\": %llu, \"rounds\": %llu, \"msgs_per_sec\": %.1f},\n"
-                   "     \"speedup\": %.3f}%s\n",
+                   "     \"speedup\": %.3f,\n"
+                   "     \"threads\": [",
                    s.name.c_str(), s.n, s.edges, s.legacy.seconds,
                    static_cast<unsigned long long>(s.legacy.messages),
                    static_cast<unsigned long long>(s.legacy.rounds),
                    s.legacy.msgs_per_sec(), s.arena.seconds,
                    static_cast<unsigned long long>(s.arena.messages),
                    static_cast<unsigned long long>(s.arena.rounds), s.arena.msgs_per_sec(),
-                   s.speedup(), (!last || has_pool_entry) ? "," : "");
-      if (has_pool_entry) {
-        // Informational sharded-delivery run; printed as its own entry so the
-        // before/after pair above stays a clean serial-vs-serial comparison.
-        std::fprintf(f,
-                     "    {\"name\": \"%s_pool4\", \"n\": %u, \"edges\": %zu,\n"
-                     "     \"after\":  {\"mode\": \"arena+4threads\", \"seconds\": %.6f, "
-                     "\"messages\": %llu, \"rounds\": %llu, \"msgs_per_sec\": %.1f}}%s\n",
-                     s.name.c_str(), s.n, s.edges, s.arena_pool4.seconds,
-                     static_cast<unsigned long long>(s.arena_pool4.messages),
-                     static_cast<unsigned long long>(s.arena_pool4.rounds),
-                     s.arena_pool4.msgs_per_sec(), last ? "" : ",");
+                   s.speedup());
+      // Per-thread-count rows through the work-stealing scheduler (empty for
+      // scenarios outside the sweep).
+      for (std::size_t j = 0; j < s.threaded.size(); ++j) {
+        const auto& [t, m] = s.threaded[j];
+        std::fprintf(f, "%s\n       {\"threads\": %u, \"seconds\": %.6f, \"msgs_per_sec\": %.1f}",
+                     j == 0 ? "" : ",", t, m.seconds, m.msgs_per_sec());
       }
+      std::fprintf(f, "%s]}%s\n", s.threaded.empty() ? "" : "\n     ", last ? "" : ",");
     }
     std::fprintf(f, "  ],\n");
     std::fprintf(f,

@@ -1,0 +1,244 @@
+/// \file m6_scale_micro.cpp
+/// \brief Micro-benchmark M6 — million-node scale: streaming graph builds
+/// and work-stealing delivery throughput across thread counts.
+///
+/// Gates the PR 6 hot-path rebuild (work-stealing scheduler, pooled
+/// allocation, bitset adjacency, streaming CSR builds) at production scale:
+///
+///   * build_* — constructing a circulant C_n(1..4) via the generic
+///     sort-and-dedup path (Graph::from_edges) vs the streaming
+///     lexicographic path (Graph::from_ordered_edges), plus the bitset
+///     adjacency compression ratio at each size;
+///   * delivery_* — dense broadcast rounds (every node sends on every port)
+///     at n ∈ {10k, 100k, 1M, 4M}, swept over pool sizes {1, 2, 4, 8}
+///     through the work-stealing delivery scheduler, totals cross-checked
+///     against the single-threaded run (determinism contract).
+///
+/// Writes BENCH_scale.json (override with --out=PATH). The JSON records
+/// hardware_threads so scaling numbers are read against the parallelism
+/// the host actually offers — on a single-core container every extra
+/// thread measures pure scheduler overhead, not speedup. --smoke shrinks
+/// to {10k, 50k} for CI. Exits 1 on any cross-check failure.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "congest/simulator.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/ids.hpp"
+#include "graph/sparse_bitset.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace decycle;
+using congest::Simulator;
+
+/// Broadcast-k-rounds program: every node ships one small message per port
+/// per round until the horizon. Mirrors m2's ChattyAllPorts minus the inbox
+/// fold, keeping the hot path delivery-bound.
+class Broadcast final : public congest::NodeProgram {
+ public:
+  explicit Broadcast(std::uint64_t horizon) : horizon_(horizon) {}
+
+  void on_round(congest::Context& ctx, std::span<const congest::Envelope> inbox) override {
+    std::uint64_t acc = 0;
+    for (const auto& env : inbox) {
+      congest::MessageReader r(env.payload);
+      acc ^= r.get_u64();
+    }
+    if (ctx.round() >= horizon_) return;
+    congest::MessageWriter w;
+    w.put_u64(ctx.my_id() ^ (acc & 1));
+    ctx.send_all(w.finish());
+  }
+
+ private:
+  std::uint64_t horizon_;
+};
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+struct BuildRow {
+  graph::Vertex n = 0;
+  std::size_t edges = 0;
+  double sorted_s = 0;     ///< Graph::from_edges (sort + dedup)
+  double streaming_s = 0;  ///< Graph::from_ordered_edges
+  std::size_t adjacency_entries = 0;
+  std::size_t bitset_words = 0;
+};
+
+struct ThreadRow {
+  unsigned threads = 0;
+  double seconds = 0;
+  double msgs_per_sec = 0;
+};
+
+struct DeliveryRow {
+  std::string name;
+  graph::Vertex n = 0;
+  unsigned degree = 0;
+  std::uint64_t rounds = 0;
+  std::uint64_t messages = 0;
+  std::vector<ThreadRow> threads;
+};
+
+bool check(bool okay, const char* what) {
+  if (!okay) std::fprintf(stderr, "FAILED: %s\n", what);
+  return okay;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_scale.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strncmp(argv[i], "--out=", 6) == 0) out_path = argv[i] + 6;
+  }
+  bool ok = true;
+  constexpr std::uint32_t kHalfDegree = 4;  // C_n(1..4): 8-regular
+
+  const std::vector<graph::Vertex> sizes =
+      smoke ? std::vector<graph::Vertex>{10'000, 50'000}
+            : std::vector<graph::Vertex>{10'000, 100'000, 1'000'000, 4'000'000};
+  const std::vector<unsigned> thread_counts = {1, 2, 4, 8};
+
+  // --- Build comparison: sorted generic path vs streaming path. ---
+  std::vector<BuildRow> builds;
+  for (const graph::Vertex n : sizes) {
+    BuildRow row;
+    row.n = n;
+    {
+      // The generic path receives the same edge stream but may not assume
+      // its order — it pays the sort + dedup the streaming build skips.
+      const graph::Graph ordered = graph::circulant(n, kHalfDegree);
+      const std::vector<graph::Edge> edge_copy(ordered.edges().begin(), ordered.edges().end());
+      const auto t0 = std::chrono::steady_clock::now();
+      const graph::Graph sorted_build = graph::Graph::from_edges(n, edge_copy);
+      row.sorted_s = seconds_since(t0);
+      row.edges = sorted_build.num_edges();
+    }
+    {
+      const auto t0 = std::chrono::steady_clock::now();
+      const graph::Graph g = graph::circulant(n, kHalfDegree, graph::AdjacencyMode::kBitset);
+      row.streaming_s = seconds_since(t0);
+      row.adjacency_entries = 2 * g.num_edges();
+      row.bitset_words = g.bitset() != nullptr ? g.bitset()->total_words() : 0;
+      ok &= check(g.num_edges() == std::size_t{n} * kHalfDegree, "circulant edge count");
+      ok &= check(g.has_edge(0, 1) && g.has_edge(0, n - 1) && !g.has_edge(0, n / 2),
+                  "bitset membership spot checks");
+    }
+    builds.push_back(row);
+    std::printf("build n=%-9u edges=%-9zu sorted=%7.3fs streaming=%7.3fs (%.2fx)  "
+                "bitset %zu words / %zu entries\n",
+                row.n, row.edges, row.sorted_s, row.streaming_s,
+                row.streaming_s > 0 ? row.sorted_s / row.streaming_s : 0.0,
+                row.bitset_words, row.adjacency_entries);
+  }
+
+  // --- Delivery throughput sweep. ---
+  std::vector<DeliveryRow> deliveries;
+  for (const graph::Vertex n : sizes) {
+    // Constant per-size message budget: bigger graphs run fewer rounds.
+    const std::uint64_t horizon = n >= 1'000'000 ? 2 : (n >= 100'000 ? 4 : 8);
+    const int reps = smoke ? 1 : (n >= 1'000'000 ? 1 : 2);
+    const graph::Graph g = graph::circulant(n, kHalfDegree);
+    const graph::IdAssignment ids = graph::IdAssignment::identity(n);
+    const auto factory = [horizon](graph::Vertex) { return std::make_unique<Broadcast>(horizon); };
+
+    DeliveryRow row;
+    row.name = "delivery_bcast_n" + std::to_string(n);
+    row.n = n;
+    row.degree = 2 * kHalfDegree;
+
+    Simulator sim(g, ids, factory);
+    std::uint64_t base_messages = 0;
+    std::uint64_t base_rounds = 0;
+    for (const unsigned t : thread_counts) {
+      std::unique_ptr<util::ThreadPool> pool;
+      Simulator::Options opt;
+      if (t > 1) {
+        pool = std::make_unique<util::ThreadPool>(t);
+        opt.pool = pool.get();
+      }
+      sim.reset(factory);
+      (void)sim.run(opt);  // warm arenas / pools, untimed
+      ThreadRow tr;
+      tr.threads = t;
+      for (int rep = 0; rep < reps; ++rep) {
+        sim.reset(factory);
+        const auto t0 = std::chrono::steady_clock::now();
+        const congest::RunStats stats = sim.run(opt);
+        const double dt = seconds_since(t0);
+        if (rep == 0 || dt < tr.seconds) tr.seconds = dt;
+        if (t == 1 && rep == 0) {
+          base_messages = stats.total_messages;
+          base_rounds = stats.rounds_executed;
+        }
+        ok &= check(stats.total_messages == base_messages && stats.rounds_executed == base_rounds,
+                    "threaded run disagrees with single-threaded totals");
+      }
+      tr.msgs_per_sec = tr.seconds > 0 ? static_cast<double>(base_messages) / tr.seconds : 0;
+      row.threads.push_back(tr);
+      std::printf("%-24s threads=%u  %8.4fs  %12.3e msg/s\n", row.name.c_str(), t, tr.seconds,
+                  tr.msgs_per_sec);
+    }
+    row.messages = base_messages;
+    row.rounds = base_rounds;
+    deliveries.push_back(row);
+  }
+
+  // --- JSON. ---
+  if (std::FILE* f = std::fopen(out_path.c_str(), "w")) {
+    std::fprintf(f, "{\n  \"bench\": \"m6_scale_micro\",\n  \"smoke\": %s,\n",
+                 smoke ? "true" : "false");
+    std::fprintf(f, "  \"hardware_threads\": %u,\n", std::thread::hardware_concurrency());
+    std::fprintf(f, "  \"build\": [\n");
+    for (std::size_t i = 0; i < builds.size(); ++i) {
+      const BuildRow& b = builds[i];
+      std::fprintf(f,
+                   "    {\"n\": %u, \"edges\": %zu, \"sorted_build_s\": %.6f, "
+                   "\"streaming_build_s\": %.6f, \"build_speedup\": %.3f, "
+                   "\"adjacency_entries\": %zu, \"bitset_words\": %zu}%s\n",
+                   b.n, b.edges, b.sorted_s, b.streaming_s,
+                   b.streaming_s > 0 ? b.sorted_s / b.streaming_s : 0.0, b.adjacency_entries,
+                   b.bitset_words, i + 1 == builds.size() ? "" : ",");
+    }
+    std::fprintf(f, "  ],\n  \"delivery\": [\n");
+    for (std::size_t i = 0; i < deliveries.size(); ++i) {
+      const DeliveryRow& d = deliveries[i];
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"n\": %u, \"degree\": %u, \"rounds\": %llu, "
+                   "\"messages\": %llu,\n     \"threads\": [",
+                   d.name.c_str(), d.n, d.degree, static_cast<unsigned long long>(d.rounds),
+                   static_cast<unsigned long long>(d.messages));
+      const double base = d.threads.empty() ? 0 : d.threads.front().msgs_per_sec;
+      for (std::size_t j = 0; j < d.threads.size(); ++j) {
+        const ThreadRow& t = d.threads[j];
+        std::fprintf(f,
+                     "%s\n       {\"threads\": %u, \"seconds\": %.6f, \"msgs_per_sec\": %.1f, "
+                     "\"speedup_vs_1t\": %.3f}",
+                     j == 0 ? "" : ",", t.threads, t.seconds, t.msgs_per_sec,
+                     base > 0 ? t.msgs_per_sec / base : 0.0);
+      }
+      std::fprintf(f, "\n     ]}%s\n", i + 1 == deliveries.size() ? "" : ",");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path.c_str());
+  } else {
+    std::fprintf(stderr, "FAILED: cannot open %s for writing\n", out_path.c_str());
+    ok = false;
+  }
+
+  return ok ? 0 : 1;
+}

@@ -14,12 +14,14 @@
 #pragma once
 
 #include <cstdint>
+#include <new>
 #include <span>
 #include <vector>
 
 #include "congest/message.hpp"
 #include "graph/graph.hpp"
 #include "graph/ids.hpp"
+#include "util/pool_alloc.hpp"
 
 namespace decycle::congest {
 
@@ -132,6 +134,21 @@ class NodeProgram {
   /// rounds only when mail arrived or a wake-up was scheduled. \p inbox is
   /// sorted by port and contains at most one envelope per port.
   virtual void on_round(Context& ctx, std::span<const Envelope> inbox) = 0;
+
+  /// Program instances route through the lane-confined size-classed pool
+  /// when a util::PoolScope is active (Simulator::reset installs one), so
+  /// reset-heavy sweeps recycle program blocks instead of hitting the
+  /// global heap; outside a scope this IS the global heap, so ad-hoc
+  /// construction in tests works unchanged. Each block carries its origin,
+  /// so deletion is correct from any context that outlives the pool.
+  static void* operator new(std::size_t bytes) { return util::pooled_allocate(bytes); }
+  static void operator delete(void* p) noexcept { util::pooled_deallocate(p); }
+  static void operator delete(void* p, std::size_t) noexcept { util::pooled_deallocate(p); }
+  /// Over-aligned subclasses bypass the 16-byte-aligned pool entirely.
+  static void* operator new(std::size_t bytes, std::align_val_t al) {
+    return ::operator new(bytes, al);
+  }
+  static void operator delete(void* p, std::align_val_t al) noexcept { ::operator delete(p, al); }
 };
 
 inline void Context::send(std::uint32_t port, Message msg) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <map>
 #include <numeric>
 
@@ -34,14 +35,32 @@ struct SimRuntime {
   /// Upper bound on step chunks / delivery shards; bounds the number of
   /// persistent per-chunk buffers regardless of pool size.
   static constexpr std::size_t kMaxChunks = 32;
+  /// Receiver-group granularity for the parallel delivery passes: groups
+  /// are the work-stealing unit of pass B and the resolution of the
+  /// cost-weighted split, so ~1024 of them keep both the split accurate and
+  /// the per-chunk group tables tiny (kMaxChunks * kMaxGroups counters).
+  static constexpr std::size_t kMaxGroups = 1024;
 
   /// One persistent step-execution lane: a reusable Context plus the outbox
   /// all nodes stepped by this lane append to (metadata and payloads in
-  /// lockstep parallel arrays).
+  /// lockstep parallel arrays), and the chunk's slice of the parallel
+  /// delivery state — per-receiver-group counters and the counting-sort
+  /// scatter of its own outbox (bucket holds meta indices ordered by
+  /// receiver group, preserving outbox order within a group).
   struct ChunkState {
     Context ctx;
     std::vector<Context::OutMeta> meta;
     std::vector<Message> payload;
+
+    std::vector<std::uint32_t> group_env;     ///< non-dropped envelopes per group
+    std::vector<std::uint32_t> group_recv;    ///< first-touched receivers per group
+    std::vector<std::uint32_t> group_start;   ///< bucket prefix (kMaxGroups+1)
+    std::vector<std::uint32_t> group_cursor;  ///< scatter cursors (scratch)
+    std::vector<std::uint32_t> bucket;        ///< meta indices, grouped
+    std::size_t messages = 0;                 ///< round stats, reduced in chunk order
+    std::uint64_t bits = 0;
+    std::uint64_t max_link_bits = 0;
+    std::size_t dropped = 0;
 
     ChunkState(const graph::Graph& g, const graph::IdAssignment& ids,
                const std::uint32_t* rev_ports)
@@ -79,6 +98,21 @@ struct SimRuntime {
   std::vector<std::unique_ptr<ChunkState>> chunks;
   std::vector<ShardAcc> shards;
 
+  // Receiver-group tables for the parallel delivery path: vertex v belongs
+  // to group v >> group_shift (at most kMaxGroups groups). The serial
+  // mid-phase folds the per-chunk group counters into these and prefix-sums
+  // them, giving every group its arena base (env) and next_active base
+  // (recv) — pass B then processes groups independently in any order while
+  // producing output identical to the serial sorted-receiver sweep.
+  std::uint32_t group_shift = 0;
+  std::size_t num_groups = 0;
+  std::vector<std::uint64_t> group_env;
+  std::vector<std::uint64_t> group_recv;
+  std::vector<std::uint64_t> group_env_base;
+  std::vector<std::uint64_t> group_recv_base;
+  std::vector<std::uint64_t> group_weight;
+  std::vector<std::uint64_t> chunk_weight;  ///< per-chunk cost for weighted splits
+
   // Bucketed timer wheel for near wake-ups (< kWheelSize rounds ahead) with
   // a min-heap for far ones. At drain time every entry in a bucket targets
   // exactly the current round (targets within the horizon occupy distinct
@@ -97,10 +131,24 @@ struct SimRuntime {
     merge_buf.reserve(n);
     wake_scratch.reserve(n);
     wakeup_rounds.reserve(n);
+
+    group_shift = 0;
+    while (n != 0 && ((std::size_t{n} - 1) >> group_shift) + 1 > kMaxGroups) ++group_shift;
+    num_groups = n == 0 ? 0 : ((std::size_t{n} - 1) >> group_shift) + 1;
+    group_env.resize(num_groups);
+    group_recv.resize(num_groups);
+    group_env_base.resize(num_groups);
+    group_recv_base.resize(num_groups);
+    group_weight.resize(num_groups);
+    chunk_weight.resize(kMaxChunks);
   }
 
   void begin_run(Vertex n) {
     std::fill(inbox_stamp.begin(), inbox_stamp.end(), kNeverStamp);
+    // The parallel counting pass relies on count[v] == 0 outside the
+    // current round's receiver set; a previous run capped by max_rounds can
+    // leave undelivered counts behind.
+    std::fill(count.begin(), count.end(), 0);
     for (auto& bucket : wheel) bucket.clear();
     far_heap.clear();
     pending_wakeups = 0;
@@ -191,6 +239,12 @@ Simulator::~Simulator() = default;
 
 void Simulator::reset(const ProgramFactory& factory) {
   const Vertex n = graph_->num_vertices();
+  // Route program blocks through this simulator's pool: the assignments
+  // below free the previous trial's programs into the free lists the
+  // factory's new instances immediately reuse, so a steady-state reset
+  // allocates nothing (programs whose own members allocate still pay for
+  // those members — the pool covers the object blocks).
+  const util::PoolScope pool_scope(&program_pool_);
   programs_.resize(n);  // keeps capacity across resets
   try {
     for (Vertex v = 0; v < n; ++v) {
@@ -279,45 +333,70 @@ RunStats Simulator::run_arena(const Options& options) {
       }
     };
     if (num_chunks > 1) {
-      options.pool->for_indexed(num_chunks, step_chunk);
+      // Cost-weighted split: a chunk's step cost tracks the mail it has to
+      // digest, not how many nodes it holds — weight each chunk by its
+      // inbox envelope total (plus 1 per node for mailless wake-ups).
+      std::fill_n(rt.chunk_weight.begin(), num_chunks, 0);
+      for (std::size_t i = 0; i < num_active; ++i) {
+        const Vertex v = rt.active[i];
+        const std::uint64_t mail = rt.inbox_stamp[v] == round ? rt.count[v] : 0;
+        rt.chunk_weight[i / chunk_len] += mail + 1;
+      }
+      options.pool->for_weighted(num_chunks, rt.chunk_weight.data(), step_chunk);
     } else {
       step_chunk(0);
     }
 
-    // --- Wake-up scheduling (serial; ascending sender order).
+    // --- Wake-up scheduling (serial; ascending sender order), fused with
+    // releasing consumed inboxes: count[v] must return to 0 once v's step
+    // read its envelope span, because the parallel counting pass below
+    // relies on count[v] == 0 outside the current round's receiver set.
     for (std::size_t i = 0; i < num_active; ++i) {
+      const Vertex v = rt.active[i];
+      if (rt.inbox_stamp[v] == round) rt.count[v] = 0;
       if (rt.wakeup_rounds[i] != kNoWakeup) {
-        rt.schedule_wakeup(rt.active[i], rt.wakeup_rounds[i], round);
+        rt.schedule_wakeup(v, rt.wakeup_rounds[i], round);
       }
     }
 
-    // --- Delivery, sharded by receiver range. Pass A counts envelopes per
-    // receiver (and applies the drop adversary, marking entries); a serial
-    // prefix pass assigns arena segments; pass B places envelopes by
-    // counting placement. Ascending sender order within each receiver's
-    // segment yields ascending receiver ports, so inboxes are born sorted.
+    // --- Delivery. Pass A counts envelopes per receiver (and applies the
+    // drop adversary, marking entries); a serial mid-phase assigns arena
+    // segments; pass B places envelopes by counting placement. Ascending
+    // sender order within each receiver's segment yields ascending receiver
+    // ports, so inboxes are born sorted.
+    //
+    // The parallel variant never range-filters: pass A runs per sender
+    // chunk over that chunk's own outbox only (atomic counts, per-group
+    // tallies, counting-sort scatter), and pass B runs per receiver group
+    // with work-stolen, envelope-weighted scheduling. Both produce output
+    // bit-identical to the serial sweep: group prefix sums pin every
+    // receiver's arena segment and next_active slot to its global sorted
+    // position, and chunk-order placement within a group preserves
+    // ascending sender order. The n/64 floor keeps the group sweep (which
+    // touches every vertex of a non-empty group) amortized against traffic.
     std::size_t total_out = 0;
     for (std::size_t c = 0; c < num_chunks; ++c) total_out += rt.chunks[c]->meta.size();
 
-    std::size_t num_shards = 1;
-    if (options.pool != nullptr && total_out >= options.parallel_threshold) {
-      num_shards = std::min(SimRuntime::kMaxChunks, options.pool->size() + 1);
-    }
-    while (rt.shards.size() < num_shards) rt.shards.emplace_back();
-
     const std::uint64_t next_stamp = round + 1;
-    const auto pass_a = [&](std::size_t s) {
-      SimRuntime::ShardAcc& acc = rt.shards[s];
+    const bool parallel_delivery =
+        options.pool != nullptr &&
+        total_out >= std::max<std::size_t>(options.parallel_threshold, n / 64);
+
+    RoundStats rs;
+    rs.round = round;
+    rs.active_nodes = num_active;
+    std::vector<Envelope>& out_arena = rt.arena[next_stamp & 1];
+
+    if (!parallel_delivery) {
+      if (rt.shards.empty()) rt.shards.emplace_back();
+      SimRuntime::ShardAcc& acc = rt.shards[0];
       acc.receivers.clear();
       acc.bits = 0;
       acc.max_link_bits = 0;
       acc.messages = 0;
       acc.dropped = 0;
-      const Vertex lo = static_cast<Vertex>(std::uint64_t{n} * s / num_shards);
-      const Vertex hi = static_cast<Vertex>(std::uint64_t{n} * (s + 1) / num_shards);
       for (std::size_t c = 0; c < num_chunks; ++c) {
         for (Context::OutMeta& e : rt.chunks[c]->meta) {
-          if (e.dest < lo || e.dest >= hi) continue;
           acc.messages += 1;
           acc.bits += e.bits;
           acc.max_link_bits = std::max(acc.max_link_bits, e.bits);
@@ -331,60 +410,154 @@ RunStats Simulator::run_arena(const Options& options) {
           }
           if (rt.inbox_stamp[e.dest] != next_stamp) {
             rt.inbox_stamp[e.dest] = next_stamp;
-            rt.count[e.dest] = 0;
             acc.receivers.push_back(e.dest);
           }
           rt.count[e.dest] += 1;
         }
       }
       std::sort(acc.receivers.begin(), acc.receivers.end());
-    };
-    if (num_shards > 1) {
-      options.pool->for_indexed(num_shards, pass_a);
-    } else {
-      pass_a(0);
-    }
 
-    // Serial reduction in fixed shard order: receiver segments, stats.
-    RoundStats rs;
-    rs.round = round;
-    rs.active_nodes = num_active;
-    rt.next_active.clear();
-    std::size_t cum = 0;
-    for (std::size_t s = 0; s < num_shards; ++s) {
-      const SimRuntime::ShardAcc& acc = rt.shards[s];
+      rt.next_active.clear();
+      std::size_t cum = 0;
       for (const Vertex v : acc.receivers) {
         rt.offset[v] = cum;
         rt.fill[v] = 0;
         cum += rt.count[v];
-        rt.next_active.push_back(v);  // shard ranges ascend, so this stays sorted
+        rt.next_active.push_back(v);
       }
       rs.messages += acc.messages;
       rs.bits += acc.bits;
       rs.max_link_bits = std::max(rs.max_link_bits, acc.max_link_bits);
       stats.dropped_messages += acc.dropped;
-    }
 
-    std::vector<Envelope>& out_arena = rt.arena[next_stamp & 1];
-    if (out_arena.size() < cum) out_arena.resize(std::max(cum, 2 * out_arena.size()));
-    const auto pass_b = [&](std::size_t s) {
-      const Vertex lo = static_cast<Vertex>(std::uint64_t{n} * s / num_shards);
-      const Vertex hi = static_cast<Vertex>(std::uint64_t{n} * (s + 1) / num_shards);
+      if (out_arena.size() < cum) out_arena.resize(std::max(cum, 2 * out_arena.size()));
       for (std::size_t c = 0; c < num_chunks; ++c) {
         SimRuntime::ChunkState& cs = *rt.chunks[c];
         for (std::size_t j = 0; j < cs.meta.size(); ++j) {
           const Context::OutMeta& e = cs.meta[j];
-          if (e.dest < lo || e.dest >= hi || e.dropped != 0) continue;
+          if (e.dropped != 0) continue;
           Envelope& slot = out_arena[rt.offset[e.dest] + rt.fill[e.dest]++];
           slot.port = e.rport;
           slot.payload = std::move(cs.payload[j]);
         }
       }
-    };
-    if (num_shards > 1) {
-      options.pool->for_indexed(num_shards, pass_b);
     } else {
-      pass_b(0);
+      const std::size_t groups = rt.num_groups;
+      const std::uint32_t shift = rt.group_shift;
+
+      // Pass A, parallel over sender chunks (each scans its own outbox
+      // only), weighted by outbox size.
+      for (std::size_t c = 0; c < num_chunks; ++c) {
+        rt.chunk_weight[c] = rt.chunks[c]->meta.size() + 1;
+      }
+      const auto count_chunk = [&](std::size_t c) {
+        SimRuntime::ChunkState& cs = *rt.chunks[c];
+        cs.messages = 0;
+        cs.bits = 0;
+        cs.max_link_bits = 0;
+        cs.dropped = 0;
+        cs.group_env.assign(groups, 0);
+        cs.group_recv.assign(groups, 0);
+        for (Context::OutMeta& e : cs.meta) {
+          cs.messages += 1;
+          cs.bits += e.bits;
+          cs.max_link_bits = std::max(cs.max_link_bits, e.bits);
+          if (options.drop && options.drop(round, e.from, e.dest)) {
+            e.dropped = 1;
+            cs.dropped += 1;
+            continue;
+          }
+          const std::size_t g = e.dest >> shift;
+          ++cs.group_env[g];
+          // First toucher of a receiver claims it for its group tally;
+          // atomicity makes the claim unique across chunks.
+          const std::uint32_t prev =
+              std::atomic_ref<std::uint32_t>(rt.count[e.dest])
+                  .fetch_add(1, std::memory_order_relaxed);
+          if (prev == 0) ++cs.group_recv[g];
+        }
+        // Counting-sort scatter: bucket the chunk's surviving meta indices
+        // by receiver group (stable, so outbox order survives per group).
+        cs.group_start.resize(groups + 1);
+        cs.group_start[0] = 0;
+        for (std::size_t g = 0; g < groups; ++g) {
+          cs.group_start[g + 1] = cs.group_start[g] + cs.group_env[g];
+        }
+        cs.group_cursor.assign(cs.group_start.begin(), cs.group_start.end() - 1);
+        if (cs.bucket.size() < cs.group_start[groups]) cs.bucket.resize(cs.group_start[groups]);
+        for (std::size_t j = 0; j < cs.meta.size(); ++j) {
+          const Context::OutMeta& e = cs.meta[j];
+          if (e.dropped != 0) continue;
+          cs.bucket[cs.group_cursor[e.dest >> shift]++] = static_cast<std::uint32_t>(j);
+        }
+      };
+      if (num_chunks > 1) {
+        options.pool->for_weighted(num_chunks, rt.chunk_weight.data(), count_chunk);
+      } else {
+        count_chunk(0);
+      }
+
+      // Serial mid-phase: fold per-chunk group tallies, prefix-sum them
+      // into arena / next_active bases, reduce stats in fixed chunk order.
+      std::fill(rt.group_env.begin(), rt.group_env.end(), 0);
+      std::fill(rt.group_recv.begin(), rt.group_recv.end(), 0);
+      for (std::size_t c = 0; c < num_chunks; ++c) {
+        const SimRuntime::ChunkState& cs = *rt.chunks[c];
+        for (std::size_t g = 0; g < groups; ++g) {
+          rt.group_env[g] += cs.group_env[g];
+          rt.group_recv[g] += cs.group_recv[g];
+        }
+        rs.messages += cs.messages;
+        rs.bits += cs.bits;
+        rs.max_link_bits = std::max(rs.max_link_bits, cs.max_link_bits);
+        stats.dropped_messages += cs.dropped;
+      }
+      std::size_t cum = 0;
+      std::size_t num_receivers = 0;
+      for (std::size_t g = 0; g < groups; ++g) {
+        rt.group_env_base[g] = cum;
+        rt.group_recv_base[g] = num_receivers;
+        rt.group_weight[g] = rt.group_env[g];
+        cum += rt.group_env[g];
+        num_receivers += rt.group_recv[g];
+      }
+      if (out_arena.size() < cum) out_arena.resize(std::max(cum, 2 * out_arena.size()));
+      rt.next_active.resize(num_receivers);  // within reserve(n), no allocation
+
+      // Pass B, parallel over receiver groups: sweep the group's vertex
+      // span in ascending order (stamps, arena offsets, next_active slots —
+      // all landing exactly where the serial sweep would put them), then
+      // place envelopes chunk-by-chunk so each receiver's segment fills in
+      // ascending sender order.
+      const auto place_group = [&](std::size_t g) {
+        if (rt.group_env[g] == 0) return;
+        const Vertex lo = static_cast<Vertex>(std::size_t{g} << shift);
+        const Vertex hi =
+            static_cast<Vertex>(std::min<std::size_t>(n, (std::size_t{g} + 1) << shift));
+        std::size_t env_cursor = rt.group_env_base[g];
+        std::size_t recv_cursor = rt.group_recv_base[g];
+        for (Vertex v = lo; v < hi; ++v) {
+          const std::uint32_t cnt = rt.count[v];
+          if (cnt == 0) continue;
+          rt.inbox_stamp[v] = next_stamp;
+          rt.offset[v] = env_cursor;
+          rt.fill[v] = 0;
+          env_cursor += cnt;
+          rt.next_active[recv_cursor++] = v;
+        }
+        for (std::size_t c = 0; c < num_chunks; ++c) {
+          SimRuntime::ChunkState& cs = *rt.chunks[c];
+          const std::uint32_t bucket_end = cs.group_start[g + 1];
+          for (std::uint32_t k = cs.group_start[g]; k < bucket_end; ++k) {
+            const std::uint32_t j = cs.bucket[k];
+            const Context::OutMeta& e = cs.meta[j];
+            Envelope& slot = out_arena[rt.offset[e.dest] + rt.fill[e.dest]++];
+            slot.port = e.rport;
+            slot.payload = std::move(cs.payload[j]);
+          }
+        }
+      };
+      options.pool->for_weighted(groups, rt.group_weight.data(), place_group);
     }
 
     stats.rounds_executed += 1;

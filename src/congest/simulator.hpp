@@ -32,6 +32,7 @@
 #include "congest/node.hpp"
 #include "graph/graph.hpp"
 #include "graph/ids.hpp"
+#include "util/pool_alloc.hpp"
 #include "util/thread_pool.hpp"
 
 namespace decycle::congest {
@@ -112,6 +113,12 @@ class Simulator {
 
   const graph::Graph* graph_;
   const graph::IdAssignment* ids_;
+
+  /// Backs every program instance built by reset() (declared before
+  /// programs_ so the blocks outlive their owners at destruction). The pool
+  /// is touched serially (reset, program destruction), never from delivery
+  /// shards.
+  util::PoolAllocator program_pool_;
   std::vector<std::unique_ptr<NodeProgram>> programs_;
 
   /// CSR offsets into the graph's flattened adjacency (n+1 entries) and the

@@ -246,6 +246,25 @@ Graph random_connected(Vertex n, std::size_t m, util::Rng& rng) {
   return b.build();
 }
 
+Graph circulant(Vertex n, std::uint32_t k, AdjacencyMode mode) {
+  DECYCLE_CHECK_MSG(k >= 1, "circulant needs k >= 1");
+  DECYCLE_CHECK_MSG(n >= 2 * std::uint64_t{k} + 1, "circulant requires n >= 2k+1");
+  // Emit row by row, each row's partners ascending: direct offsets
+  // u+1..u+k first, then (for u < k) the wrap partners u+n-k..n-1 — which
+  // start above u+k because n > 2k. The stream is therefore strictly
+  // lexicographic and feeds the sort-free CSR build.
+  std::vector<Edge> edges;
+  edges.reserve(std::size_t{n} * k);
+  for (Vertex u = 0; u < n; ++u) {
+    const auto direct_hi = static_cast<Vertex>(std::min<std::uint64_t>(n - 1, std::uint64_t{u} + k));
+    for (Vertex v = u + 1; v <= direct_hi; ++v) edges.emplace_back(u, v);
+    if (u < k) {
+      for (Vertex v = static_cast<Vertex>(n - k + u); v < n; ++v) edges.emplace_back(u, v);
+    }
+  }
+  return Graph::from_ordered_edges(n, std::move(edges), mode);
+}
+
 Graph connect_components(const Graph& g, std::span<const Vertex> part_reps) {
   GraphBuilder b(g.num_vertices());
   for (const auto& [u, v] : g.edges()) b.add_edge(u, v);

@@ -50,6 +50,15 @@ namespace decycle::graph {
 /// topology; the inter-cave ring creates one long global cycle.
 [[nodiscard]] Graph caveman(Vertex caves, Vertex cave_size);
 
+/// Circulant C_n(1..k): vertex u adjacent to u±j (mod n) for 1 <= j <= k;
+/// degree 2k everywhere. Requires n >= 2k+1. Edges are emitted in
+/// lexicographic order straight into the streaming sort-free CSR build, so
+/// million-node instances construct in O(m) — the scale bench's workhorse
+/// family (its clustered numbering also compresses maximally under the
+/// bitset adjacency).
+[[nodiscard]] Graph circulant(Vertex n, std::uint32_t k,
+                              AdjacencyMode mode = AdjacencyMode::kAuto);
+
 /// Uniform random labelled tree on n vertices (Prüfer-style attachment).
 [[nodiscard]] Graph random_tree(Vertex n, util::Rng& rng);
 

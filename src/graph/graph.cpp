@@ -2,11 +2,32 @@
 
 #include <algorithm>
 
+#include "graph/sparse_bitset.hpp"
 #include "util/check.hpp"
 
 namespace decycle::graph {
 
-Graph Graph::from_edges(Vertex n, std::span<const Edge> edges) {
+namespace {
+
+/// kAuto threshold: below this the bitset table costs more than it saves.
+constexpr Vertex kBitsetAutoVertices = 1u << 16;
+constexpr std::size_t kBitsetAutoAvgDegree = 8;
+
+}  // namespace
+
+void Graph::finalize_adjacency(AdjacencyMode mode) {
+  for (Vertex v = 0; v < n_; ++v) {
+    max_degree_ = std::max(max_degree_, offsets_[v + 1] - offsets_[v]);
+  }
+  const bool auto_bitset = n_ >= kBitsetAutoVertices &&
+                           adjacency_.size() >= kBitsetAutoAvgDegree * std::size_t{n_};
+  if (mode == AdjacencyMode::kBitset || (mode == AdjacencyMode::kAuto && auto_bitset)) {
+    bitset_ = std::make_shared<const BitsetAdjacency>(
+        BitsetAdjacency::build(n_, offsets_, adjacency_));
+  }
+}
+
+Graph Graph::from_edges(Vertex n, std::span<const Edge> edges, AdjacencyMode mode) {
   Graph g;
   g.n_ = n;
 
@@ -38,13 +59,50 @@ Graph Graph::from_edges(Vertex n, std::span<const Edge> edges) {
     auto nb = std::span<Vertex>(g.adjacency_.data() + g.offsets_[v],
                                 g.adjacency_.data() + g.offsets_[v + 1]);
     std::sort(nb.begin(), nb.end());
-    g.max_degree_ = std::max(g.max_degree_, nb.size());
   }
+  g.finalize_adjacency(mode);
+  return g;
+}
+
+Graph Graph::from_ordered_edges(Vertex n, std::vector<Edge> edges, AdjacencyMode mode) {
+  Graph g;
+  g.n_ = n;
+
+  // Pass 1: validate the ordering contract and count degrees. Strict
+  // lexicographic increase subsumes dedup.
+  g.offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  Edge prev{0, 0};
+  bool first = true;
+  for (const auto& [a, b] : edges) {
+    DECYCLE_CHECK_MSG(a < b, "from_ordered_edges: edges must be canonical (u < v)");
+    DECYCLE_CHECK_MSG(b < n, "edge endpoint out of range");
+    DECYCLE_CHECK_MSG(first || (Edge{a, b} > prev),
+                      "from_ordered_edges: edges must strictly increase lexicographically");
+    prev = {a, b};
+    first = false;
+    ++g.offsets_[a + 1];
+    ++g.offsets_[b + 1];
+  }
+  for (std::size_t v = 0; v < n; ++v) g.offsets_[v + 1] += g.offsets_[v];
+
+  // Pass 2: cursor fill. Visiting edges in lexicographic order appends each
+  // vertex's partners in ascending order on both sides — for fixed u the
+  // seconds ascend, and for fixed v the firsts ascend across the stream —
+  // so the adjacency is born sorted and needs no per-vertex sort.
+  g.adjacency_.resize(2 * edges.size());
+  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& [a, b] : edges) {
+    g.adjacency_[cursor[a]++] = b;
+    g.adjacency_[cursor[b]++] = a;
+  }
+  g.edges_ = std::move(edges);
+  g.finalize_adjacency(mode);
   return g;
 }
 
 bool Graph::has_edge(Vertex u, Vertex v) const noexcept {
   if (u >= n_ || v >= n_ || u == v) return false;
+  if (bitset_ != nullptr) return bitset_->test(u, v);
   const auto nb = neighbors(u);
   return std::binary_search(nb.begin(), nb.end(), v);
 }

@@ -1,0 +1,110 @@
+#include "graph/sparse_bitset.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace decycle::graph {
+
+void SparseBitset::insert(std::uint32_t x) {
+  const std::uint32_t w = x >> 6;
+  const std::uint64_t mask = std::uint64_t{1} << (x & 63);
+  if (!words_.empty() && words_.back() == w) {  // ascending-build fast path
+    bits_.back() |= mask;
+    return;
+  }
+  if (words_.empty() || w > words_.back()) {
+    words_.push_back(w);
+    bits_.push_back(mask);
+    return;
+  }
+  const auto it = std::lower_bound(words_.begin(), words_.end(), w);
+  const auto idx = static_cast<std::size_t>(it - words_.begin());
+  if (it != words_.end() && *it == w) {
+    bits_[idx] |= mask;
+  } else {
+    words_.insert(it, w);
+    bits_.insert(bits_.begin() + static_cast<std::ptrdiff_t>(idx), mask);
+  }
+}
+
+bool SparseBitset::test(std::uint32_t x) const noexcept {
+  const std::uint32_t w = x >> 6;
+  const auto it = std::lower_bound(words_.begin(), words_.end(), w);
+  if (it == words_.end() || *it != w) return false;
+  const auto idx = static_cast<std::size_t>(it - words_.begin());
+  return (bits_[idx] >> (x & 63)) & 1;
+}
+
+std::size_t SparseBitset::count() const noexcept {
+  std::size_t total = 0;
+  for (const std::uint64_t b : bits_) total += static_cast<std::size_t>(std::popcount(b));
+  return total;
+}
+
+std::size_t SparseBitset::intersect_count(const SparseBitset& other) const noexcept {
+  std::size_t total = 0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < words_.size() && j < other.words_.size()) {
+    if (words_[i] < other.words_[j]) {
+      ++i;
+    } else if (words_[i] > other.words_[j]) {
+      ++j;
+    } else {
+      total += static_cast<std::size_t>(std::popcount(bits_[i] & other.bits_[j]));
+      ++i;
+      ++j;
+    }
+  }
+  return total;
+}
+
+BitsetAdjacency BitsetAdjacency::build(std::uint32_t n, std::span<const std::size_t> offsets,
+                                       std::span<const std::uint32_t> adjacency) {
+  BitsetAdjacency adj;
+  adj.offsets_.resize(static_cast<std::size_t>(n) + 1);
+  adj.offsets_[0] = 0;
+  // Pass 1: count occupied words per vertex (neighbors are sorted, so a
+  // word change is a plain comparison with the previous neighbor).
+  for (std::uint32_t u = 0; u < n; ++u) {
+    std::size_t words = 0;
+    std::uint32_t prev_word = ~std::uint32_t{0};
+    for (std::size_t k = offsets[u]; k < offsets[u + 1]; ++k) {
+      const std::uint32_t w = adjacency[k] >> 6;
+      words += w != prev_word;
+      prev_word = w;
+    }
+    adj.offsets_[u + 1] = adj.offsets_[u] + words;
+  }
+  adj.words_.resize(adj.offsets_[n]);
+  adj.bits_.resize(adj.offsets_[n]);
+  // Pass 2: emit (word, mask) runs.
+  for (std::uint32_t u = 0; u < n; ++u) {
+    std::size_t out = adj.offsets_[u];
+    std::uint32_t prev_word = ~std::uint32_t{0};
+    for (std::size_t k = offsets[u]; k < offsets[u + 1]; ++k) {
+      const std::uint32_t v = adjacency[k];
+      const std::uint32_t w = v >> 6;
+      if (w != prev_word) {
+        adj.words_[out] = w;
+        adj.bits_[out] = 0;
+        ++out;
+        prev_word = w;
+      }
+      adj.bits_[out - 1] |= std::uint64_t{1} << (v & 63);
+    }
+  }
+  return adj;
+}
+
+bool BitsetAdjacency::test(std::uint32_t u, std::uint32_t v) const noexcept {
+  const std::uint32_t w = v >> 6;
+  const auto begin = words_.begin() + static_cast<std::ptrdiff_t>(offsets_[u]);
+  const auto end = words_.begin() + static_cast<std::ptrdiff_t>(offsets_[u + 1]);
+  const auto it = std::lower_bound(begin, end, w);
+  if (it == end || *it != w) return false;
+  const auto idx = static_cast<std::size_t>(it - words_.begin());
+  return (bits_[idx] >> (v & 63)) & 1;
+}
+
+}  // namespace decycle::graph

@@ -1,0 +1,81 @@
+/// \file sparse_bitset.hpp
+/// \brief Compressed sparse bitsets and the bitset adjacency representation.
+///
+/// A sparse bitset stores a set of 32-bit values as a sorted element list of
+/// (word index, 64-bit mask) pairs — the SparseBitVector idiom: only words
+/// with at least one set bit exist, so a set whose members cluster (as graph
+/// neighborhoods do under locality-preserving vertex numbering — grids,
+/// circulants, communities) costs ~12 bytes per *word* instead of 4 bytes
+/// per *member*, and membership is a binary search over words followed by a
+/// bit test instead of a search over members.
+///
+/// BitsetAdjacency flattens one such set per vertex into CSR-of-words form
+/// (shared offset table, struct-of-arrays element storage — no padding).
+/// Graph builds it automatically above a size/degree threshold (or on
+/// request) and routes has_edge through it; the port-ordered neighbor
+/// arrays stay authoritative for iteration, so the CONGEST port model is
+/// untouched (DESIGN.md §10).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace decycle::graph {
+
+/// One growable sparse bitset. Building in ascending order is O(1)
+/// amortized per insert; out-of-order inserts pay a shift.
+class SparseBitset {
+ public:
+  void insert(std::uint32_t x);
+  [[nodiscard]] bool test(std::uint32_t x) const noexcept;
+
+  /// Number of set bits.
+  [[nodiscard]] std::size_t count() const noexcept;
+  /// Number of occupied 64-bit words.
+  [[nodiscard]] std::size_t word_count() const noexcept { return words_.size(); }
+
+  /// |this ∩ other| via a linear word merge (the triangle-counting kernel).
+  [[nodiscard]] std::size_t intersect_count(const SparseBitset& other) const noexcept;
+
+  [[nodiscard]] std::span<const std::uint32_t> words() const noexcept { return words_; }
+  [[nodiscard]] std::span<const std::uint64_t> bits() const noexcept { return bits_; }
+
+ private:
+  std::vector<std::uint32_t> words_;  ///< sorted word indices
+  std::vector<std::uint64_t> bits_;   ///< masks, in lockstep with words_
+};
+
+/// Per-vertex sparse bitsets over the neighbor relation, flattened into one
+/// CSR-of-words table. Immutable after build.
+class BitsetAdjacency {
+ public:
+  /// Builds from a CSR adjacency whose per-vertex neighbor lists are sorted
+  /// (Graph's invariant); grouping neighbors into words is then one linear
+  /// sweep.
+  [[nodiscard]] static BitsetAdjacency build(std::uint32_t n,
+                                             std::span<const std::size_t> offsets,
+                                             std::span<const std::uint32_t> adjacency);
+
+  /// Membership: is v a neighbor of u?
+  [[nodiscard]] bool test(std::uint32_t u, std::uint32_t v) const noexcept;
+
+  /// Total occupied words across all vertices (compression diagnostics:
+  /// compare against the 2m adjacency entries).
+  [[nodiscard]] std::size_t total_words() const noexcept { return words_.size(); }
+
+  [[nodiscard]] std::span<const std::uint32_t> vertex_words(std::uint32_t u) const noexcept {
+    return {words_.data() + offsets_[u], words_.data() + offsets_[u + 1]};
+  }
+  [[nodiscard]] std::span<const std::uint64_t> vertex_bits(std::uint32_t u) const noexcept {
+    return {bits_.data() + offsets_[u], bits_.data() + offsets_[u + 1]};
+  }
+
+ private:
+  std::vector<std::size_t> offsets_;  ///< n+1 entries into words_/bits_
+  std::vector<std::uint32_t> words_;
+  std::vector<std::uint64_t> bits_;
+};
+
+}  // namespace decycle::graph

@@ -1,0 +1,97 @@
+#include "util/pool_alloc.hpp"
+
+#include <bit>
+#include <new>
+
+namespace decycle::util {
+
+std::size_t PoolAllocator::class_for(std::size_t bytes) noexcept {
+  const std::size_t clamped = bytes < class_bytes(0) ? class_bytes(0) : bytes;
+  const auto log = static_cast<std::size_t>(std::bit_width(clamped - 1));
+  return log - kMinClassLog;
+}
+
+void PoolAllocator::grow(std::size_t cls) {
+  const std::size_t block = class_bytes(cls);
+  const std::size_t slab_bytes = block > kSlabBytes ? block : kSlabBytes;
+  auto slab = std::make_unique<std::byte[]>(slab_bytes);
+  std::byte* base = slab.get();
+  // Thread every block onto the free list (reverse order so the list hands
+  // them out front-to-back, keeping early allocations contiguous).
+  const std::size_t blocks = slab_bytes / block;
+  for (std::size_t i = blocks; i-- > 0;) {
+    auto* node = reinterpret_cast<FreeNode*>(base + i * block);
+    node->next = free_[cls];
+    free_[cls] = node;
+  }
+  slabs_.push_back(std::move(slab));
+  ++stats_.slab_allocations;
+  stats_.slab_bytes += slab_bytes;
+}
+
+void* PoolAllocator::allocate(std::size_t bytes) {
+  const std::size_t cls = class_for(bytes);
+  if (cls >= kNumClasses) {
+    ++stats_.oversize;
+    return ::operator new(bytes);
+  }
+  if (free_[cls] == nullptr) grow(cls);
+  FreeNode* node = free_[cls];
+  free_[cls] = node->next;
+  ++stats_.allocations;
+  return node;
+}
+
+void PoolAllocator::deallocate(void* p, std::size_t bytes) noexcept {
+  if (p == nullptr) return;
+  const std::size_t cls = class_for(bytes);
+  if (cls >= kNumClasses) {
+    ::operator delete(p);
+    return;
+  }
+  auto* node = static_cast<FreeNode*>(p);
+  node->next = free_[cls];
+  free_[cls] = node;
+}
+
+namespace {
+
+/// 16 bytes so the user pointer keeps max_align_t alignment; remembers the
+/// origin pool (nullptr = global heap) and the full block size.
+struct alignas(16) PooledHeader {
+  PoolAllocator* pool;
+  std::size_t bytes;
+};
+static_assert(sizeof(PooledHeader) == 16);
+
+thread_local PoolAllocator* tls_pool = nullptr;
+
+}  // namespace
+
+void* pooled_allocate(std::size_t bytes) {
+  const std::size_t total = bytes + sizeof(PooledHeader);
+  PoolAllocator* pool = tls_pool;
+  void* raw = pool != nullptr ? pool->allocate(total) : ::operator new(total);
+  auto* header = static_cast<PooledHeader*>(raw);
+  header->pool = pool;
+  header->bytes = total;
+  return header + 1;
+}
+
+void pooled_deallocate(void* p) noexcept {
+  if (p == nullptr) return;
+  auto* header = static_cast<PooledHeader*>(p) - 1;
+  if (header->pool != nullptr) {
+    header->pool->deallocate(header, header->bytes);
+  } else {
+    ::operator delete(header);
+  }
+}
+
+PoolScope::PoolScope(PoolAllocator* pool) noexcept : prev_(tls_pool) { tls_pool = pool; }
+
+PoolScope::~PoolScope() { tls_pool = prev_; }
+
+PoolAllocator* current_pool() noexcept { return tls_pool; }
+
+}  // namespace decycle::util

@@ -78,6 +78,15 @@ void ThreadPool::drain_batch(IndexFnRef fn, std::size_t count) {
 }
 
 void ThreadPool::for_indexed(std::size_t count, IndexFnRef fn) {
+  scheduler_.run(*this, count, nullptr, fn);
+}
+
+void ThreadPool::for_weighted(std::size_t count, const std::uint64_t* weights, IndexFnRef fn) {
+  scheduler_.run(*this, count, weights, fn);
+}
+
+void ThreadPool::run_lanes(std::size_t lanes, IndexFnRef fn) {
+  const std::size_t count = lanes;
   if (count == 0) return;
   if (workers_.empty() || count == 1) {
     for (std::size_t i = 0; i < count; ++i) fn(i);

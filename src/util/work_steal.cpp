@@ -1,0 +1,140 @@
+#include "util/work_steal.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace decycle::util {
+
+// Memory-ordering notes (after Lê et al., "Correct and Efficient
+// Work-Stealing for Weak Memory Models"): the seq_cst fences order the
+// owner's bottom decrement against the thief's top read; the buffer itself
+// needs no ordering because it is immutable while a batch runs.
+
+bool WorkStealScheduler::Deque::take(std::uint32_t& out) noexcept {
+  const std::int64_t b = bottom.load(std::memory_order_relaxed) - 1;
+  bottom.store(b, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  std::int64_t t = top.load(std::memory_order_relaxed);
+  if (t > b) {  // deque already empty
+    bottom.store(b + 1, std::memory_order_relaxed);
+    return false;
+  }
+  out = items[static_cast<std::size_t>(b)];
+  if (t == b) {
+    // Last item: race the thieves for it.
+    const bool won = top.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                                 std::memory_order_relaxed);
+    bottom.store(b + 1, std::memory_order_relaxed);
+    return won;
+  }
+  return true;
+}
+
+bool WorkStealScheduler::Deque::steal(std::uint32_t& out) noexcept {
+  std::int64_t t = top.load(std::memory_order_acquire);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  const std::int64_t b = bottom.load(std::memory_order_acquire);
+  if (t >= b) return false;
+  out = items[static_cast<std::size_t>(t)];
+  return top.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                     std::memory_order_relaxed);
+}
+
+void WorkStealScheduler::lane_loop(std::size_t lane, std::size_t lanes, IndexFnRef fn) {
+  const auto execute = [&](std::uint32_t chunk) {
+    try {
+      fn(chunk);
+    } catch (...) {
+      const std::lock_guard lock(error_mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    remaining_.fetch_sub(1, std::memory_order_acq_rel);
+  };
+
+  // Drain our own deque first (bottom side, cache-warm order).
+  Deque& own = *deques_[lane];
+  std::uint32_t chunk = 0;
+  while (own.take(chunk)) execute(chunk);
+
+  // Then steal until the whole batch is done. A full unsuccessful sweep
+  // with work still outstanding means the tail chunks are executing on
+  // other lanes — yield instead of hammering their cache lines.
+  while (remaining_.load(std::memory_order_acquire) != 0) {
+    bool stole = false;
+    for (std::size_t i = 1; i < lanes; ++i) {
+      Deque& victim = *deques_[(lane + i) % lanes];
+      while (victim.steal(chunk)) {
+        steals_.fetch_add(1, std::memory_order_relaxed);
+        execute(chunk);
+        stole = true;
+      }
+    }
+    if (!stole && remaining_.load(std::memory_order_acquire) != 0) {
+      std::this_thread::yield();
+    }
+  }
+}
+
+void WorkStealScheduler::run(ThreadPool& pool, std::size_t count, const std::uint64_t* weights,
+                             IndexFnRef fn) {
+  if (count == 0) return;
+  if (pool.size() == 0 || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  // One batch in flight per scheduler; concurrent external callers
+  // serialize here (and again on the pool's own batch lock below).
+  const std::lock_guard run_lock(run_mutex_);
+
+  const std::size_t lanes = std::min(pool.size() + 1, count);
+  while (deques_.size() < lanes) deques_.push_back(std::make_unique<Deque>());
+
+  // Cost-weighted initial split: lane l receives the contiguous chunk run
+  // that carries its fair share of the total weight, so every lane starts
+  // with roughly equal *work* even when chunk costs are wildly skewed;
+  // stealing mops up whatever the estimate missed. Every lane gets at
+  // least one chunk (lanes <= count).
+  const auto weight_of = [&](std::size_t i) -> std::uint64_t {
+    return weights != nullptr ? weights[i] : 1;
+  };
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; weights != nullptr && i < count; ++i) total += weights[i];
+  if (weights == nullptr) total = count;
+
+  std::size_t next = 0;
+  std::uint64_t prefix = 0;
+  for (std::size_t l = 0; l < lanes; ++l) {
+    Deque& d = *deques_[l];
+    d.items.clear();
+    // Stop early enough that each of the lanes - 1 - l later lanes still
+    // gets a chunk; the last lane absorbs everything left.
+    const std::size_t hard_end = count - (lanes - 1 - l);
+    const std::uint64_t target = l + 1 == lanes ? ~std::uint64_t{0} : total * (l + 1) / lanes;
+    do {
+      d.items.push_back(static_cast<std::uint32_t>(next));
+      prefix += weight_of(next);
+      ++next;
+    } while (next < hard_end && prefix < target);
+    d.top.store(0, std::memory_order_relaxed);
+    d.bottom.store(static_cast<std::int64_t>(d.items.size()), std::memory_order_relaxed);
+  }
+  DECYCLE_CHECK_MSG(next == count, "work-steal split dropped chunks");
+
+  remaining_.store(count, std::memory_order_relaxed);
+  first_error_ = nullptr;
+
+  const auto lane_fn = [&](std::size_t lane) { lane_loop(lane, lanes, fn); };
+  pool.run_lanes(lanes, lane_fn);
+
+  if (first_error_) {
+    const std::exception_ptr err = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+}  // namespace decycle::util

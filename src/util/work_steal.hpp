@@ -1,0 +1,95 @@
+/// \file work_steal.hpp
+/// \brief Work-stealing batch scheduler over a ThreadPool's lanes.
+///
+/// The fixed receiver-range sharding this replaces (PR 1) left cores idle
+/// whenever per-shard costs were skewed: a shard is claimed once, so one
+/// expensive shard serializes the round while the other lanes wait at the
+/// barrier. The scheduler here keeps the batch model (submit N independent
+/// chunks, block until all ran) but distributes chunks Chase–Lev style:
+///
+///   * every lane owns a bounded deque, pre-filled before the batch starts
+///     with a contiguous run of chunk ids whose *weights* sum to roughly
+///     total/lanes (cost-weighted initial split — by measured work such as
+///     inbox envelope counts, not by chunk count);
+///   * a lane pops work from the bottom of its own deque (plain CAS-free in
+///     the common case) and, when empty, steals from the top of a victim's
+///     deque with a single compare-exchange — the classic lock-free
+///     take/steal protocol, simplified by the batch discipline: all pushes
+///     happen before the workers start, so the buffer itself is immutable
+///     while the batch runs and only `top`/`bottom` are contended.
+///
+/// Determinism: which lane executes a chunk is scheduling-dependent, but
+/// callers slot results per chunk id and reduce in fixed chunk order, so
+/// every output is bit-identical for any thread count — the same contract
+/// ThreadPool::for_indexed always had (DESIGN.md §3.2, §10).
+///
+/// All buffers (deques, their item arrays) grow to a high-water mark and
+/// are reused across batches, so a steady-state batch performs no heap
+/// allocation.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace decycle::util {
+
+class ThreadPool;
+class IndexFnRef;
+
+class WorkStealScheduler {
+ public:
+  WorkStealScheduler() = default;
+  WorkStealScheduler(const WorkStealScheduler&) = delete;
+  WorkStealScheduler& operator=(const WorkStealScheduler&) = delete;
+
+  /// Runs fn(i) exactly once for every i in [0, count), blocking until all
+  /// chunks finished. \p weights (length count) biases the initial split:
+  /// lane l receives a contiguous run of chunks whose weight sum is close
+  /// to total/lanes. Pass nullptr for unit weights. The calling thread
+  /// participates. Exceptions from fn are captured; the first one rethrows
+  /// after the batch drains (remaining chunks still run, matching
+  /// ThreadPool::for_indexed semantics). Not reentrant: must not be called
+  /// from inside pool work. Concurrent callers serialize on the scheduler,
+  /// then on the pool's batch lock.
+  void run(ThreadPool& pool, std::size_t count, const std::uint64_t* weights, IndexFnRef fn);
+
+  /// Total successful steals across all batches (diagnostics / tests).
+  [[nodiscard]] std::uint64_t steals() const noexcept {
+    return steals_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// One lane's bounded deque. `items` is written only between batches
+  /// (before the workers are released), so during a batch the only shared
+  /// mutable state is top/bottom. Padded to keep the hot atomics of
+  /// different lanes off one cache line.
+  struct alignas(64) Deque {
+    std::atomic<std::int64_t> top{0};
+    std::atomic<std::int64_t> bottom{0};
+    std::vector<std::uint32_t> items;
+
+    /// Owner-side pop from the bottom (LIFO). Lock-free; contends with
+    /// steal() only on the last remaining item.
+    bool take(std::uint32_t& out) noexcept;
+
+    /// Thief-side pop from the top (FIFO). One CAS; returns false on an
+    /// empty deque or a lost race.
+    bool steal(std::uint32_t& out) noexcept;
+  };
+
+  void lane_loop(std::size_t lane, std::size_t lanes, IndexFnRef fn);
+
+  std::mutex run_mutex_;
+  std::vector<std::unique_ptr<Deque>> deques_;
+  std::atomic<std::size_t> remaining_{0};
+  std::atomic<std::uint64_t> steals_{0};
+  std::mutex error_mutex_;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace decycle::util

@@ -498,6 +498,85 @@ TEST(Simulator, RepeatedResetTrialsAreIndependent) {
   }
 }
 
+// --- Work-stealing scale path (PR 6) ---------------------------------------
+
+/// The determinism contract at oversubscribed thread counts through the
+/// work-stealing scheduler: 1, 4 and 16 threads must agree bit-for-bit —
+/// RunStats, per-round records, and inbox transcripts — on a topology dense
+/// enough to engage the grouped parallel delivery, vector- and
+/// bitset-backed alike.
+TEST(Simulator, WorkStealDeterminismAtSixteenThreads) {
+  for (const graph::AdjacencyMode mode :
+       {graph::AdjacencyMode::kVector, graph::AdjacencyMode::kBitset}) {
+    const Graph g = graph::circulant(96, 6, mode);
+    util::Rng id_rng(31);
+    const IdAssignment ids = IdAssignment::shuffled(g.num_vertices(), id_rng);
+    util::ThreadPool pool4(4);
+    util::ThreadPool pool16(16);
+    const std::string rep = mode == graph::AdjacencyMode::kBitset ? " (bitset)" : " (vector)";
+    for (const bool drops : {false, true}) {
+      const std::string label = (drops ? "with drops" : "no drops") + rep;
+      const RunOutcome serial = run_gossip(g, ids, nullptr, DeliveryMode::kArena, drops);
+      const RunOutcome par4 = run_gossip(g, ids, &pool4, DeliveryMode::kArena, drops);
+      const RunOutcome par16 = run_gossip(g, ids, &pool16, DeliveryMode::kArena, drops);
+      expect_identical(par4, serial, label + ": 4 threads vs serial");
+      expect_identical(par16, serial, label + ": 16 threads vs serial");
+    }
+  }
+}
+
+/// The zero-allocation bar re-pinned across the pooled-program lifecycle:
+/// after a warm trial, a full reset(factory) + run — which tears down and
+/// reconstructs every NodeProgram — must be heap-silent, because program
+/// storage recycles through the simulator's size-classed pool and delivery
+/// recycles the arenas. Serial and work-stealing pooled lanes alike.
+TEST(Simulator, PooledResetTrialsAreAllocationFree) {
+  ASSERT_TRUE(testsupport::allocation_probe_active());
+
+  /// Stateless chatter: all allocation in a trial belongs to the simulator
+  /// and the program pool.
+  class StatelessChatter final : public NodeProgram {
+   public:
+    void on_round(Context& ctx, std::span<const Envelope> inbox) override {
+      std::uint64_t acc = 0;
+      for (const Envelope& env : inbox) {
+        MessageReader r(env.payload);
+        while (!r.at_end()) acc ^= r.get_u64();
+      }
+      if (ctx.round() >= 12) return;
+      MessageWriter w;
+      w.put_u64(ctx.my_id() ^ acc);
+      ctx.send_all(w.finish());
+    }
+  };
+  const auto factory = [](Vertex) { return std::make_unique<StatelessChatter>(); };
+
+  const Graph g = graph::grid(10, 10);
+  const IdAssignment ids = IdAssignment::identity(g.num_vertices());
+  util::ThreadPool pool(4);
+
+  for (util::ThreadPool* p : {static_cast<util::ThreadPool*>(nullptr), &pool}) {
+    Simulator sim(g, ids, factory);
+    Simulator::Options opt;
+    opt.pool = p;
+    opt.parallel_threshold = 1;
+    const RunStats warm = sim.run(opt);
+    EXPECT_TRUE(warm.halted);
+    // One warm reset sets the pool's high-water mark for program blocks.
+    sim.reset(factory);
+    (void)sim.run(opt);
+
+    const std::uint64_t before = testsupport::allocation_count();
+    sim.reset(factory);
+    const RunStats steady = sim.run(opt);
+    const std::uint64_t after = testsupport::allocation_count();
+    EXPECT_TRUE(steady.halted);
+    EXPECT_EQ(steady.total_messages, warm.total_messages);
+    EXPECT_EQ(after - before, 0u)
+        << (p == nullptr ? "serial" : "pooled") << " reset trial allocated";
+  }
+}
+
 TEST(Simulator, TopologyOnlyConstructionRequiresReset) {
   const Graph g = graph::path(3);
   const IdAssignment ids = IdAssignment::identity(3);

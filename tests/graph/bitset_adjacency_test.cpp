@@ -1,0 +1,217 @@
+/// \file bitset_adjacency_test.cpp
+/// \brief Sparse bitsets, the bitset adjacency, and the streaming
+/// (sort-free) CSR build: equivalence with the vector representation.
+#include "graph/sparse_bitset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace decycle::graph {
+namespace {
+
+// --- SparseBitset ----------------------------------------------------------
+
+TEST(SparseBitset, InsertAndTest) {
+  SparseBitset s;
+  for (const std::uint32_t x : {3u, 64u, 65u, 1000000u}) s.insert(x);
+  for (const std::uint32_t x : {3u, 64u, 65u, 1000000u}) EXPECT_TRUE(s.test(x)) << x;
+  for (const std::uint32_t x : {0u, 2u, 4u, 63u, 66u, 999999u}) EXPECT_FALSE(s.test(x)) << x;
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_EQ(s.word_count(), 3u);  // {3}, {64, 65}, {1000000}
+}
+
+TEST(SparseBitset, OutOfOrderInsertMatchesSorted) {
+  SparseBitset fwd, rev;
+  const std::vector<std::uint32_t> xs = {5, 70, 130, 131, 200, 4096};
+  for (auto it = xs.begin(); it != xs.end(); ++it) fwd.insert(*it);
+  for (auto it = xs.rbegin(); it != xs.rend(); ++it) rev.insert(*it);
+  EXPECT_TRUE(std::ranges::equal(fwd.words(), rev.words()));
+  EXPECT_TRUE(std::ranges::equal(fwd.bits(), rev.bits()));
+  EXPECT_EQ(rev.count(), xs.size());
+}
+
+TEST(SparseBitset, DuplicateInsertIsIdempotent) {
+  SparseBitset s;
+  s.insert(42);
+  s.insert(42);
+  EXPECT_EQ(s.count(), 1u);
+}
+
+TEST(SparseBitset, IntersectCountAgainstReference) {
+  util::Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::set<std::uint32_t> ra, rb;
+    SparseBitset a, b;
+    for (int i = 0; i < 200; ++i) {
+      const auto x = static_cast<std::uint32_t>(rng.next_below(2000));
+      const auto y = static_cast<std::uint32_t>(rng.next_below(2000));
+      if (ra.insert(x).second) a.insert(x);
+      if (rb.insert(y).second) b.insert(y);
+    }
+    std::vector<std::uint32_t> common;
+    std::ranges::set_intersection(ra, rb, std::back_inserter(common));
+    EXPECT_EQ(a.intersect_count(b), common.size()) << trial;
+    EXPECT_EQ(b.intersect_count(a), common.size()) << trial;
+  }
+}
+
+// --- BitsetAdjacency vs vector adjacency -----------------------------------
+
+/// Exhaustive has_edge agreement between a bitset-backed and a vector-backed
+/// build of the same graph.
+void expect_has_edge_equivalent(const Graph& vec, const Graph& bits) {
+  ASSERT_EQ(vec.num_vertices(), bits.num_vertices());
+  ASSERT_EQ(vec.num_edges(), bits.num_edges());
+  ASSERT_EQ(vec.uses_bitset(), false);
+  ASSERT_EQ(bits.uses_bitset(), true);
+  const Vertex n = vec.num_vertices();
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v = 0; v < n; ++v) {
+      ASSERT_EQ(vec.has_edge(u, v), bits.has_edge(u, v)) << u << "-" << v;
+    }
+    // Neighbor iteration must be untouched by the representation choice.
+    ASSERT_TRUE(std::ranges::equal(vec.neighbors(u), bits.neighbors(u))) << u;
+  }
+}
+
+TEST(BitsetAdjacency, RandomGraphsMatchVectorRepresentation) {
+  util::Rng rng(7);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Vertex n = 40 + 10 * trial;
+    const Graph g = erdos_renyi_gnm(n, 3 * n, rng);
+    const Graph vec = Graph::from_edges(n, g.edges(), AdjacencyMode::kVector);
+    const Graph bits = Graph::from_edges(n, g.edges(), AdjacencyMode::kBitset);
+    expect_has_edge_equivalent(vec, bits);
+  }
+}
+
+TEST(BitsetAdjacency, StructuredFamiliesMatch) {
+  const Graph families[] = {grid(8, 9), complete(24), star(40), wheel(30),
+                            circulant(64, 5, AdjacencyMode::kVector)};
+  for (const Graph& g : families) {
+    const Graph vec = Graph::from_edges(g.num_vertices(), g.edges(), AdjacencyMode::kVector);
+    const Graph bits = Graph::from_edges(g.num_vertices(), g.edges(), AdjacencyMode::kBitset);
+    expect_has_edge_equivalent(vec, bits);
+  }
+}
+
+TEST(BitsetAdjacency, AutoModeKeepsSmallGraphsOnVectors) {
+  const Graph small = circulant(100, 4);  // far below the auto threshold
+  EXPECT_FALSE(small.uses_bitset());
+  EXPECT_EQ(small.bitset(), nullptr);
+  const Graph forced = circulant(100, 4, AdjacencyMode::kBitset);
+  EXPECT_TRUE(forced.uses_bitset());
+  ASSERT_NE(forced.bitset(), nullptr);
+}
+
+TEST(BitsetAdjacency, AutoModeEngagesAtScale) {
+  // 2^16 vertices at average degree 8 crosses both auto thresholds.
+  const Graph big = circulant(1u << 16, 4);
+  EXPECT_TRUE(big.uses_bitset());
+  ASSERT_NE(big.bitset(), nullptr);
+  // Clustered numbering compresses: far fewer words than adjacency entries.
+  EXPECT_LT(big.bitset()->total_words(), 2 * big.num_edges());
+  EXPECT_TRUE(big.has_edge(0, 4));
+  EXPECT_TRUE(big.has_edge(0, (1u << 16) - 4));
+  EXPECT_FALSE(big.has_edge(0, 5));
+}
+
+TEST(BitsetAdjacency, CopiedGraphSharesTheTable) {
+  const Graph g = circulant(60, 3, AdjacencyMode::kBitset);
+  const Graph copy = g;  // shared_ptr: the table is not rebuilt
+  EXPECT_EQ(copy.bitset(), g.bitset());
+  EXPECT_TRUE(copy.has_edge(0, 3));
+}
+
+// --- Streaming (sort-free) CSR build ---------------------------------------
+
+TEST(OrderedEdges, MatchesGenericBuildOnRandomGraphs) {
+  util::Rng rng(123);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Vertex n = 30 + 7 * trial;
+    const Graph g = erdos_renyi_gnm(n, 2 * n, rng);
+    // Graph::edges() is canonical and sorted — a valid ordered stream.
+    std::vector<Edge> edges(g.edges().begin(), g.edges().end());
+    const Graph streamed = Graph::from_ordered_edges(n, std::move(edges));
+    ASSERT_EQ(streamed.num_edges(), g.num_edges());
+    ASSERT_EQ(streamed.max_degree(), g.max_degree());
+    for (Vertex v = 0; v < n; ++v) {
+      ASSERT_TRUE(std::ranges::equal(streamed.neighbors(v), g.neighbors(v))) << v;
+    }
+    EXPECT_TRUE(std::ranges::equal(streamed.edges(), g.edges()));
+  }
+}
+
+TEST(OrderedEdges, RejectsNonCanonicalPairs) {
+  EXPECT_THROW((void)Graph::from_ordered_edges(4, {{1, 0}}), util::CheckError);
+  EXPECT_THROW((void)Graph::from_ordered_edges(4, {{2, 2}}), util::CheckError);
+  EXPECT_THROW((void)Graph::from_ordered_edges(4, {{0, 9}}), util::CheckError);
+}
+
+TEST(OrderedEdges, RejectsOutOfOrderAndDuplicateEdges) {
+  EXPECT_THROW((void)Graph::from_ordered_edges(5, {{0, 2}, {0, 1}}), util::CheckError);
+  EXPECT_THROW((void)Graph::from_ordered_edges(5, {{1, 2}, {0, 3}}), util::CheckError);
+  EXPECT_THROW((void)Graph::from_ordered_edges(5, {{0, 1}, {0, 1}}), util::CheckError);
+}
+
+TEST(OrderedEdges, EmptyAndEdgelessGraphs) {
+  const Graph empty = Graph::from_ordered_edges(0, {});
+  EXPECT_EQ(empty.num_vertices(), 0u);
+  const Graph bare = Graph::from_ordered_edges(5, {});
+  EXPECT_EQ(bare.num_vertices(), 5u);
+  EXPECT_EQ(bare.num_edges(), 0u);
+  EXPECT_EQ(bare.max_degree(), 0u);
+}
+
+// --- circulant generator ----------------------------------------------------
+
+TEST(Circulant, DegreeAndMembership) {
+  const Graph g = circulant(17, 3);
+  EXPECT_EQ(g.num_vertices(), 17u);
+  EXPECT_EQ(g.num_edges(), 17u * 3);
+  for (Vertex u = 0; u < 17; ++u) {
+    EXPECT_EQ(g.degree(u), 6u) << u;
+    for (std::uint32_t j = 1; j <= 3; ++j) {
+      EXPECT_TRUE(g.has_edge(u, (u + j) % 17)) << u << "+" << j;
+      EXPECT_TRUE(g.has_edge(u, (u + 17 - j) % 17)) << u << "-" << j;
+    }
+    EXPECT_FALSE(g.has_edge(u, (u + 4) % 17));
+  }
+}
+
+TEST(Circulant, MatchesBuilderConstruction) {
+  const Vertex n = 23;
+  const std::uint32_t k = 4;
+  GraphBuilder b(n);
+  for (Vertex u = 0; u < n; ++u)
+    for (std::uint32_t j = 1; j <= k; ++j) b.add_edge(u, (u + j) % n);
+  const Graph reference = b.build();
+  const Graph streamed = circulant(n, k);
+  ASSERT_EQ(streamed.num_edges(), reference.num_edges());
+  EXPECT_TRUE(std::ranges::equal(streamed.edges(), reference.edges()));
+  for (Vertex v = 0; v < n; ++v) {
+    EXPECT_TRUE(std::ranges::equal(streamed.neighbors(v), reference.neighbors(v))) << v;
+  }
+}
+
+TEST(Circulant, K1IsACycle) {
+  const Graph g = circulant(9, 1);
+  const Graph c = cycle(9);
+  EXPECT_TRUE(std::ranges::equal(g.edges(), c.edges()));
+}
+
+TEST(Circulant, RejectsTooSmallN) {
+  EXPECT_THROW((void)circulant(8, 4), util::CheckError);
+  EXPECT_THROW((void)circulant(5, 0), util::CheckError);
+}
+
+}  // namespace
+}  // namespace decycle::graph

@@ -1,0 +1,180 @@
+/// \file pool_alloc_test.cpp
+/// \brief Size-classed pool allocator: class rounding, free-list recycling,
+/// oversize fallback, headered allocation, and TLS scope nesting.
+#include "util/pool_alloc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace decycle::util {
+namespace {
+
+TEST(PoolAlloc, RecyclesFreedBlocks) {
+  PoolAllocator pool;
+  void* a = pool.allocate(100);
+  ASSERT_NE(a, nullptr);
+  pool.deallocate(a, 100);
+  // LIFO free list: the very next same-class request reuses the block.
+  void* b = pool.allocate(100);
+  EXPECT_EQ(a, b);
+  pool.deallocate(b, 100);
+}
+
+TEST(PoolAlloc, SameClassSharesFreeList) {
+  PoolAllocator pool;
+  // 100 and 120 both round to the 128-byte class.
+  void* a = pool.allocate(100);
+  pool.deallocate(a, 100);
+  void* b = pool.allocate(120);
+  EXPECT_EQ(a, b);
+  pool.deallocate(b, 120);
+}
+
+TEST(PoolAlloc, DistinctClassesDoNotAlias) {
+  PoolAllocator pool;
+  void* small = pool.allocate(32);
+  void* big = pool.allocate(4096);
+  EXPECT_NE(small, big);
+  // Writing the full rounded size of each must not corrupt the other.
+  std::memset(small, 0xAA, 32);
+  std::memset(big, 0xBB, 4096);
+  EXPECT_EQ(static_cast<unsigned char*>(small)[31], 0xAA);
+  EXPECT_EQ(static_cast<unsigned char*>(big)[4095], 0xBB);
+  pool.deallocate(small, 32);
+  pool.deallocate(big, 4096);
+}
+
+TEST(PoolAlloc, SteadyStateNeedsNoNewSlabs) {
+  PoolAllocator pool;
+  std::vector<void*> blocks;
+  for (int i = 0; i < 64; ++i) blocks.push_back(pool.allocate(256));
+  for (void* p : blocks) pool.deallocate(p, 256);
+  const std::uint64_t slabs_after_warm = pool.stats().slab_allocations;
+  // Re-allocating the same working set must come entirely off free lists.
+  blocks.clear();
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 64; ++i) blocks.push_back(pool.allocate(256));
+    for (void* p : blocks) pool.deallocate(p, 256);
+    blocks.clear();
+  }
+  EXPECT_EQ(pool.stats().slab_allocations, slabs_after_warm);
+}
+
+TEST(PoolAlloc, OversizeFallsThroughToHeap) {
+  PoolAllocator pool;
+  constexpr std::size_t kHuge = (std::size_t{1} << PoolAllocator::kMaxClassLog) + 1;
+  void* p = pool.allocate(kHuge);
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 0x5C, kHuge);
+  pool.deallocate(p, kHuge);
+  EXPECT_EQ(pool.stats().oversize, 1u);
+  EXPECT_EQ(pool.stats().slab_bytes, 0u);  // no slab was carved for it
+}
+
+TEST(PoolAlloc, StatsCountAllocationsAndSlabs) {
+  PoolAllocator pool;
+  EXPECT_EQ(pool.stats().allocations, 0u);
+  void* a = pool.allocate(64);
+  void* b = pool.allocate(64);
+  EXPECT_EQ(pool.stats().allocations, 2u);
+  EXPECT_GE(pool.stats().slab_allocations, 1u);
+  EXPECT_GE(pool.stats().slab_bytes, PoolAllocator::kSlabBytes);
+  pool.deallocate(a, 64);
+  pool.deallocate(b, 64);
+}
+
+TEST(PoolAlloc, BlocksAreMaxAligned) {
+  PoolAllocator pool;
+  for (const std::size_t bytes : {32ul, 100ul, 1000ul, 70000ul}) {
+    void* p = pool.allocate(bytes);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % alignof(std::max_align_t), 0u) << bytes;
+    pool.deallocate(p, bytes);
+  }
+}
+
+TEST(PoolAlloc, ScopeRoutesPooledAllocate) {
+  EXPECT_EQ(current_pool(), nullptr);
+  PoolAllocator pool;
+  {
+    const PoolScope scope(&pool);
+    EXPECT_EQ(current_pool(), &pool);
+    void* p = pooled_allocate(48);
+    ASSERT_NE(p, nullptr);
+    EXPECT_GE(pool.stats().allocations, 1u);
+    pooled_deallocate(p);
+  }
+  EXPECT_EQ(current_pool(), nullptr);
+}
+
+TEST(PoolAlloc, ScopesNestAndRestore) {
+  PoolAllocator outer, inner;
+  const PoolScope a(&outer);
+  {
+    const PoolScope b(&inner);
+    EXPECT_EQ(current_pool(), &inner);
+    {
+      const PoolScope c(nullptr);  // force the heap inside an outer scope
+      EXPECT_EQ(current_pool(), nullptr);
+      void* p = pooled_allocate(40);
+      ASSERT_NE(p, nullptr);
+      pooled_deallocate(p);
+    }
+    EXPECT_EQ(current_pool(), &inner);
+  }
+  EXPECT_EQ(current_pool(), &outer);
+}
+
+TEST(PoolAlloc, HeaderedBlockSurvivesScopeExit) {
+  // The headered wrapper remembers its origin pool, so deletion works after
+  // the scope that allocated it ended — the NodeProgram lifecycle.
+  PoolAllocator pool;
+  void* p = nullptr;
+  {
+    const PoolScope scope(&pool);
+    p = pooled_allocate(200);
+    std::memset(p, 0x3D, 200);
+  }
+  ASSERT_NE(p, nullptr);
+  pooled_deallocate(p);  // no active scope: must route via the header
+  // The block is back on the pool's free list: a scoped re-allocation of
+  // the same class reuses it.
+  const PoolScope scope(&pool);
+  void* q = pooled_allocate(200);
+  EXPECT_EQ(p, q);
+  pooled_deallocate(q);
+}
+
+TEST(PoolAlloc, PooledAllocateOutsideScopeUsesHeap) {
+  ASSERT_EQ(current_pool(), nullptr);
+  void* p = pooled_allocate(128);
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 0x11, 128);
+  pooled_deallocate(p);
+}
+
+TEST(PoolAlloc, ManyClassesChurn) {
+  PoolAllocator pool;
+  std::vector<std::pair<void*, std::size_t>> live;
+  std::uint64_t state = 0x9E3779B97F4A7C15ull;
+  for (int i = 0; i < 2000; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    const std::size_t bytes = 24 + (state >> 33) % 5000;
+    if (live.size() > 64 || (live.size() > 8 && state % 3 == 0)) {
+      const std::size_t at = state % live.size();
+      pool.deallocate(live[at].first, live[at].second);
+      live[at] = live.back();
+      live.pop_back();
+    } else {
+      void* p = pool.allocate(bytes);
+      std::memset(p, static_cast<int>(state & 0xFF), bytes);
+      live.emplace_back(p, bytes);
+    }
+  }
+  for (const auto& [p, bytes] : live) pool.deallocate(p, bytes);
+}
+
+}  // namespace
+}  // namespace decycle::util

@@ -1,0 +1,163 @@
+/// \file work_steal_test.cpp
+/// \brief Work-stealing batch scheduler: coverage, weighted splits,
+/// exception handling, and a deque stress test aimed at ThreadSanitizer.
+///
+/// Test-suite names carry the WorkSteal prefix so the TSan CI lane's
+/// -R filter picks every case up.
+#include "util/work_steal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace decycle::util {
+namespace {
+
+TEST(WorkSteal, WeightedBatchCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 2048;
+  // Heavily skewed costs: chunk i costs ~i^2, so a fixed even split would
+  // leave the last lane with almost all of the work.
+  std::vector<std::uint64_t> weights(kN);
+  for (std::size_t i = 0; i < kN; ++i) weights[i] = i * i + 1;
+  std::vector<std::atomic<int>> hits(kN);
+  const auto fn = [&](std::size_t i) { hits[i].fetch_add(1); };
+  pool.for_weighted(kN, weights.data(), fn);
+  for (std::size_t i = 0; i < kN; ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(WorkSteal, NullWeightsMatchForIndexed) {
+  ThreadPool pool(3);
+  constexpr std::size_t kN = 513;
+  std::vector<std::atomic<int>> hits(kN);
+  const auto fn = [&](std::size_t i) { hits[i].fetch_add(1); };
+  pool.for_weighted(kN, nullptr, fn);
+  for (std::size_t i = 0; i < kN; ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(WorkSteal, SingleItemRunsSerially) {
+  ThreadPool pool(4);
+  int calls = 0;
+  const auto fn = [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  };
+  const std::uint64_t w = 99;
+  pool.for_weighted(1, &w, fn);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(WorkSteal, ZeroCountIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  const auto fn = [&](std::size_t) { called = true; };
+  pool.for_weighted(0, nullptr, fn);
+  EXPECT_FALSE(called);
+}
+
+TEST(WorkSteal, ExtremeSkewStillCoversAll) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 64;
+  // One giant chunk up front; the rest negligible. The split must still
+  // hand every later lane at least one chunk.
+  std::vector<std::uint64_t> weights(kN, 1);
+  weights[0] = std::uint64_t{1} << 40;
+  std::vector<std::atomic<int>> hits(kN);
+  const auto fn = [&](std::size_t i) { hits[i].fetch_add(1); };
+  pool.for_weighted(kN, weights.data(), fn);
+  for (std::size_t i = 0; i < kN; ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(WorkSteal, FewerItemsThanLanes) {
+  ThreadPool pool(8);
+  for (std::size_t count = 1; count <= 8; ++count) {
+    std::vector<std::atomic<int>> hits(count);
+    const auto fn = [&](std::size_t i) { hits[i].fetch_add(1); };
+    pool.for_weighted(count, nullptr, fn);
+    for (std::size_t i = 0; i < count; ++i) ASSERT_EQ(hits[i].load(), 1) << count << ":" << i;
+  }
+}
+
+TEST(WorkSteal, WeightedExceptionPropagatesAndPoolStaysUsable) {
+  ThreadPool pool(3);
+  std::vector<std::uint64_t> weights(128, 1);
+  const auto boom = [](std::size_t i) {
+    if (i == 77) throw std::runtime_error("boom");
+  };
+  EXPECT_THROW(pool.for_weighted(128, weights.data(), boom), std::runtime_error);
+  std::atomic<std::size_t> sum{0};
+  const auto add = [&](std::size_t i) { sum.fetch_add(i); };
+  pool.for_weighted(100, nullptr, add);
+  EXPECT_EQ(sum.load(), 4950u);
+}
+
+TEST(WorkSteal, SingleWorkerPoolCoversAll) {
+  ThreadPool one(1);
+  std::vector<std::atomic<int>> hits(300);
+  const auto fn = [&](std::size_t i) { hits[i].fetch_add(1); };
+  one.for_weighted(300, nullptr, fn);
+  for (std::size_t i = 0; i < 300; ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+}
+
+/// TSan target: thousands of tiny chunks over many back-to-back batches
+/// keep the deques short, which maximizes owner/thief collisions on the
+/// last element — the Chase–Lev race the seq_cst fences must referee.
+TEST(WorkSteal, DequeStressManySmallBatches) {
+  ThreadPool pool(4);
+  constexpr std::size_t kBatches = 200;
+  constexpr std::size_t kN = 64;
+  std::atomic<std::uint64_t> total{0};
+  std::vector<std::uint64_t> weights(kN);
+  for (std::size_t i = 0; i < kN; ++i) weights[i] = (i % 7) + 1;
+  for (std::size_t b = 0; b < kBatches; ++b) {
+    const auto fn = [&](std::size_t i) { total.fetch_add(i + 1, std::memory_order_relaxed); };
+    if (b % 2 == 0) {
+      pool.for_weighted(kN, weights.data(), fn);
+    } else {
+      pool.for_indexed(kN, fn);
+    }
+  }
+  EXPECT_EQ(total.load(), kBatches * (kN * (kN + 1) / 2));
+}
+
+/// TSan target: a deliberately unbalanced batch forces cross-lane steals —
+/// lane 0's deque holds nearly everything and the other lanes drain it
+/// concurrently while the owner pops from the opposite end.
+TEST(WorkSteal, DequeStressForcedStealing) {
+  ThreadPool pool(8);
+  constexpr std::size_t kN = 4096;
+  // First chunk looks enormous, so the weighted split gives lane 0 almost
+  // every chunk; lanes 1..7 start empty and must steal to contribute.
+  std::vector<std::uint64_t> weights(kN, 1);
+  weights[0] = std::uint64_t{1} << 32;
+  std::vector<std::atomic<std::uint8_t>> hits(kN);
+  std::atomic<int> spin{0};
+  const auto fn = [&](std::size_t i) {
+    // A touch of work per chunk so thieves have time to engage.
+    for (int s = 0; s < 20; ++s) spin.fetch_add(1, std::memory_order_relaxed);
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  };
+  for (int round = 0; round < 10; ++round) {
+    for (auto& h : hits) h.store(0, std::memory_order_relaxed);
+    pool.for_weighted(kN, weights.data(), fn);
+    for (std::size_t i = 0; i < kN; ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(WorkSteal, StealCounterIsMonotonic) {
+  ThreadPool pool(4);
+  const std::uint64_t before = pool.steal_count();
+  std::atomic<std::uint64_t> sink{0};
+  const auto fn = [&](std::size_t i) { sink.fetch_add(i, std::memory_order_relaxed); };
+  for (int b = 0; b < 50; ++b) pool.for_indexed(256, fn);
+  EXPECT_GE(pool.steal_count(), before);
+}
+
+}  // namespace
+}  // namespace decycle::util
