@@ -1,0 +1,83 @@
+/// \file clique_hcycle.hpp
+/// \brief Cycle-count-adaptive h-cycle detection in the Congested Clique,
+/// after Censor-Hillel, Even and Vassilevska Williams (arXiv 2408.15132).
+///
+/// The headline property of that paper is that h-cycle detection in the
+/// Congested Clique gets FASTER the more h-cycles the input contains: a
+/// small random vertex sample already induces a copy of C_h when copies
+/// abound, so an algorithm that examines doubling samples exits early on
+/// cycle-rich inputs and only pays for the full graph when cycles are rare
+/// or absent. This file implements that schedule as a leader-coordinated
+/// protocol on the simulator's CliqueModel:
+///
+///   * A shared seed orders the vertices by a random permutation rank;
+///     phase p samples S_p = the min(n, s0·2^p) lowest-ranked vertices
+///     (samples are nested, so a vertex reports once, ever).
+///   * Phase p, round 2p: the vertices that just joined S_p send their
+///     input-graph adjacency row to the collector (vertex 0) over their
+///     direct clique link. Round 2p+1: the collector folds the new rows
+///     into its accumulated S_p-induced subgraph and runs the exact
+///     C_k search on it.
+///   * Found: the collector broadcasts the witness to all n-1 peers and the
+///     network quiesces — an early exit whose saved rounds scale with how
+///     soon a sample contained a cycle. Not found and S_p == V: quiesce
+///     accepting. Otherwise: broadcast "continue", which tells the next
+///     doubling's joiners to report.
+///
+/// The final phase collects the entire graph, so a drop-free run is EXACT:
+/// accept iff the DFS oracle finds no C_k (the soak differential pins this
+/// via exact_when_lossless). Message drops only lose rows or continues —
+/// detections are lost, never fabricated (1-sided error preserved).
+///
+/// Bandwidth honesty: rows are whole adjacency lists in one message, i.e.
+/// this is the O(1)-round Congested Clique idiom (Lenzen routing compressed
+/// into one logical round); RunStats' bit totals account the real traffic,
+/// which is how the bench demonstrates the cycle-count adaptivity.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/simulator.hpp"
+#include "graph/graph.hpp"
+#include "graph/ids.hpp"
+#include "util/thread_pool.hpp"
+
+namespace decycle::baselines {
+
+struct CliqueHCycleOptions {
+  unsigned k = 5;                  ///< cycle length h to detect
+  std::uint64_t seed = 1;          ///< drives the sampling permutation
+  std::size_t initial_sample = 8;  ///< |S_0| (clamped to [1, n]); doubles per phase
+  bool validate_witnesses = true;
+  util::ThreadPool* pool = nullptr;
+  congest::Simulator::DropFilter drop;  ///< optional message-loss adversary
+  congest::DeliveryMode delivery = congest::DeliveryMode::kArena;
+};
+
+struct CliqueHCycleVerdict {
+  bool accepted = true;
+  std::size_t rejecting_nodes = 0;     ///< nodes that learned the witness
+  std::vector<graph::Vertex> witness;  ///< a validated C_k when rejected
+  congest::RunStats stats;
+
+  // --- adaptivity instrumentation (the detector's typed counters) --------
+  std::uint64_t phases = 0;            ///< sampling phases executed
+  std::uint64_t sampled_vertices = 0;  ///< |S| at exit
+  std::uint64_t sampled_edges = 0;     ///< edges of the collector's subgraph at exit
+  bool early_exit = false;             ///< found before the full-vertex phase
+  std::uint64_t rounds_saved = 0;      ///< schedule rounds skipped by the early exit
+};
+
+/// Runs on a fresh clique-model Simulator built for (g, ids).
+[[nodiscard]] CliqueHCycleVerdict detect_hcycle_clique(const graph::Graph& g,
+                                                       const graph::IdAssignment& ids,
+                                                       const CliqueHCycleOptions& options);
+
+/// Same, on an existing Simulator (reset + run — the reuse contract:
+/// bit-identical to the fresh-build overload). The simulator MUST have been
+/// built with CommModel::clique(); anything else throws CheckError.
+[[nodiscard]] CliqueHCycleVerdict detect_hcycle_clique(congest::Simulator& sim,
+                                                       const CliqueHCycleOptions& options);
+
+}  // namespace decycle::baselines

@@ -63,8 +63,8 @@ struct SimRuntime {
     std::size_t dropped = 0;
 
     ChunkState(const graph::Graph& g, const graph::IdAssignment& ids,
-               const std::uint32_t* rev_ports)
-        : ctx(g, ids, rev_ports) {}
+               const std::uint32_t* rev_ports, const CommModel& model)
+        : ctx(g, ids, rev_ports, model) {}
   };
 
   /// Per-shard delivery accumulator; reduced into RoundStats in fixed shard
@@ -199,36 +199,50 @@ struct SimRuntime {
   }
 
   ChunkState& chunk(std::size_t i, const graph::Graph& g, const graph::IdAssignment& ids,
-                    const std::uint32_t* rev_ports) {
+                    const std::uint32_t* rev_ports, const CommModel& model) {
     while (chunks.size() <= i) {
-      chunks.push_back(std::make_unique<ChunkState>(g, ids, rev_ports));
+      chunks.push_back(std::make_unique<ChunkState>(g, ids, rev_ports, model));
     }
     return *chunks[i];
   }
 };
 
 Simulator::Simulator(const graph::Graph& g, const graph::IdAssignment& ids,
-                     const ProgramFactory& factory)
-    : Simulator(g, ids) {
+                     const CommModel& model, const ProgramFactory& factory)
+    : Simulator(g, ids, model) {
   reset(factory);
 }
 
+Simulator::Simulator(const graph::Graph& g, const graph::IdAssignment& ids,
+                     const ProgramFactory& factory)
+    : Simulator(g, ids, CommModel::congest(), factory) {}
+
 Simulator::Simulator(const graph::Graph& g, const graph::IdAssignment& ids)
-    : graph_(&g), ids_(&ids) {
+    : Simulator(g, ids, CommModel::congest()) {}
+
+Simulator::Simulator(const graph::Graph& g, const graph::IdAssignment& ids,
+                     const CommModel& model)
+    : graph_(&g), ids_(&ids), model_(&model) {
   DECYCLE_CHECK_MSG(ids.num_vertices() == g.num_vertices(),
                     "ID assignment size does not match graph");
-  const Vertex n = g.num_vertices();
+  link_graph_ = model.build_links(g);
+  comm_graph_ = link_graph_.has_value() ? &*link_graph_ : &g;
+  DECYCLE_CHECK_MSG(comm_graph_->num_vertices() == g.num_vertices(),
+                    "communication model changed the vertex set");
+  const graph::Graph& cg = *comm_graph_;
+  const Vertex n = cg.num_vertices();
 
-  // CSR reverse-port table: visiting senders u in ascending order visits
-  // each receiver v's neighbors in ascending order too, so a running cursor
-  // per receiver yields u's rank in v's sorted adjacency — no searches.
+  // CSR reverse-port table over the COMMUNICATION graph: visiting senders u
+  // in ascending order visits each receiver v's neighbors in ascending
+  // order too, so a running cursor per receiver yields u's rank in v's
+  // sorted adjacency — no searches.
   adj_offsets_.resize(n + std::size_t{1});
   adj_offsets_[0] = 0;
-  for (Vertex v = 0; v < n; ++v) adj_offsets_[v + 1] = adj_offsets_[v] + g.degree(v);
+  for (Vertex v = 0; v < n; ++v) adj_offsets_[v + 1] = adj_offsets_[v] + cg.degree(v);
   rev_ports_.resize(adj_offsets_[n]);
   std::vector<std::uint32_t> cursor(n, 0);
   for (Vertex u = 0; u < n; ++u) {
-    const auto nb = g.neighbors(u);
+    const auto nb = cg.neighbors(u);
     for (std::size_t p = 0; p < nb.size(); ++p) {
       rev_ports_[adj_offsets_[u] + p] = cursor[nb[p]]++;
     }
@@ -309,7 +323,7 @@ RunStats Simulator::run_arena(const Options& options) {
       num_chunks = std::min({SimRuntime::kMaxChunks, 2 * options.pool->size(), num_active});
     }
     for (std::size_t c = 0; c < num_chunks; ++c) {
-      rt.chunk(c, *graph_, *ids_, rev_ports_.data());
+      rt.chunk(c, *comm_graph_, *ids_, rev_ports_.data(), *model_);
     }
     const std::size_t chunk_len = (num_active + num_chunks - 1) / num_chunks;
     rt.wakeup_rounds.resize(num_active);
@@ -622,7 +636,7 @@ RunStats Simulator::run_legacy(const Options& options) {
 
     std::vector<LegacyStepResult> results(active.size());
     const auto step_range = [&](std::size_t begin, std::size_t end) {
-      Context ctx(*graph_, *ids_, nullptr);
+      Context ctx(*comm_graph_, *ids_, nullptr, *model_);
       for (std::size_t i = begin; i < end; ++i) {
         const Vertex v = active[i];
         ctx.reset(v, round, adj_offsets_[v], &results[i].meta, &results[i].payload);
@@ -656,7 +670,7 @@ RunStats Simulator::run_legacy(const Options& options) {
           stats.dropped_messages += 1;
           continue;
         }
-        const std::uint32_t rport = port_of(*graph_, dest, from);
+        const std::uint32_t rport = port_of(*comm_graph_, dest, from);
         if (inbox[dest].empty()) next_active.push_back(dest);
         inbox[dest].push_back(Envelope{rport, std::move(results[i].payload[j])});
       }

@@ -18,6 +18,15 @@
 /// bucketed timer wheel with a min-heap overflow for far targets. A
 /// steady-state round performs no heap allocation.
 ///
+/// Communication models (DESIGN.md §11): the simulator is constructed with
+/// a CommModel (comm_model.hpp) that decides the link topology and the
+/// per-round bandwidth contract — classic CONGEST (the default; links are
+/// the input edges), Broadcast-CONGEST (one B-bit broadcast per node per
+/// round, enforced at send time), or the Congested Clique (all-to-all
+/// links). graph() always returns the INPUT graph (the object under test);
+/// comm_graph() is the model's link topology, which every delivery
+/// structure above is built from.
+///
 /// Determinism: node stepping and delivery may be spread across a thread
 /// pool, but every inbox, every statistic, and the full round schedule are
 /// bit-identical for any thread count and either delivery mode —
@@ -26,8 +35,10 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
+#include "congest/comm_model.hpp"
 #include "congest/metrics.hpp"
 #include "congest/node.hpp"
 #include "graph/graph.hpp"
@@ -60,6 +71,14 @@ class Simulator {
   /// requires it to be a pure function of its arguments.
   using DropFilter = std::function<bool(std::uint64_t round, Vertex from, Vertex to)>;
 
+  /// Run options. The struct stays an aggregate — designated/aggregate
+  /// initialization (`run({.max_rounds = 8})`) keeps working — and the
+  /// `with_*` builders below are the fluent alternative for call sites that
+  /// set several knobs: each mutates in place and returns *this, so they
+  /// chain on lvalues and temporaries alike
+  /// (`sim.run(Options{}.with_pool(&pool).with_drop(filter))`). Both styles
+  /// configure the same public fields; mixing them is well-defined (last
+  /// write wins).
   struct Options {
     std::uint64_t max_rounds = 1'000'000;  ///< safety cap
     bool record_rounds = false;            ///< keep per-round stats (for T3/T5)
@@ -67,13 +86,50 @@ class Simulator {
     std::size_t parallel_threshold = 256;  ///< min active nodes / messages to go parallel
     DropFilter drop;                       ///< optional message-loss adversary
     DeliveryMode delivery = DeliveryMode::kArena;
+
+    Options& with_max_rounds(std::uint64_t v) {
+      max_rounds = v;
+      return *this;
+    }
+    Options& with_record_rounds(bool v = true) {
+      record_rounds = v;
+      return *this;
+    }
+    Options& with_pool(util::ThreadPool* p) {
+      pool = p;
+      return *this;
+    }
+    Options& with_parallel_threshold(std::size_t v) {
+      parallel_threshold = v;
+      return *this;
+    }
+    Options& with_drop(DropFilter f) {
+      drop = std::move(f);
+      return *this;
+    }
+    Options& with_delivery(DeliveryMode m) {
+      delivery = m;
+      return *this;
+    }
   };
 
-  Simulator(const graph::Graph& g, const graph::IdAssignment& ids, const ProgramFactory& factory);
+  /// Constructs under \p model: the model decides the communication
+  /// topology (graph() keeps returning the *input* graph — the object the
+  /// algorithms reason about — while delivery, ports, and Context neighbor
+  /// views run over comm_graph()). The model must outlive the simulator;
+  /// the CommModel singletons always do.
+  Simulator(const graph::Graph& g, const graph::IdAssignment& ids, const CommModel& model,
+            const ProgramFactory& factory);
 
-  /// Topology-only construction for reuse workflows (lab runner, estimator
-  /// lanes): builds the CSR reverse-port table but no programs. reset() must
-  /// be called before run().
+  /// Topology-only construction under \p model (reuse workflows): builds
+  /// the CSR reverse-port table but no programs. reset() must be called
+  /// before run().
+  Simulator(const graph::Graph& g, const graph::IdAssignment& ids, const CommModel& model);
+
+  /// Classic CONGEST construction — identical to passing
+  /// CommModel::congest(); every pre-model call site compiles and behaves
+  /// byte-identically.
+  Simulator(const graph::Graph& g, const graph::IdAssignment& ids, const ProgramFactory& factory);
   Simulator(const graph::Graph& g, const graph::IdAssignment& ids);
 
   ~Simulator();
@@ -96,8 +152,16 @@ class Simulator {
   [[nodiscard]] NodeProgram& program(Vertex v) { return *programs_[v]; }
   [[nodiscard]] const NodeProgram& program(Vertex v) const { return *programs_[v]; }
 
+  /// The INPUT graph — what the algorithms test for cycles. Identical to
+  /// comm_graph() under congest/broadcast; under clique the two differ.
   [[nodiscard]] const graph::Graph& graph() const noexcept { return *graph_; }
   [[nodiscard]] const graph::IdAssignment& ids() const noexcept { return *ids_; }
+
+  /// The communication topology the model picked (drives ports, Context
+  /// degrees/neighbors, and delivery).
+  [[nodiscard]] const graph::Graph& comm_graph() const noexcept { return *comm_graph_; }
+
+  [[nodiscard]] const CommModel& model() const noexcept { return *model_; }
 
   /// Typed sweep over all programs (harness convenience).
   template <typename P, typename Fn>
@@ -113,6 +177,13 @@ class Simulator {
 
   const graph::Graph* graph_;
   const graph::IdAssignment* ids_;
+  const CommModel* model_;
+
+  /// Model-owned link topology (the clique model's K_n); disengaged when
+  /// the model communicates on the input graph itself. comm_graph_ points
+  /// here or at graph_ and is what every delivery structure is built from.
+  std::optional<graph::Graph> link_graph_;
+  const graph::Graph* comm_graph_;
 
   /// Backs every program instance built by reset() (declared before
   /// programs_ so the blocks outlive their owners at destruction). The pool

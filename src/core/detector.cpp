@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "baselines/c4_tester.hpp"
+#include "baselines/clique_hcycle.hpp"
 #include "baselines/color_coding.hpp"
 #include "baselines/triangle_chs.hpp"
 #include "core/cycle_detector.hpp"
@@ -267,6 +268,8 @@ class ColorCodingDetector final : public Detector {
         .min_k = 3,
         .max_k = 8,
         .distributed = false,
+        // Reads sim.graph() only, so any communication model is fine.
+        .models = congest::kModelAll,
         .summary = "centralized color-coding reference (Alon–Yuster–Zwick): ⌈e^k·ln3⌉ "
                    "random colorings, colorful-cycle DP"};
     return caps;
@@ -296,11 +299,74 @@ class ColorCodingDetector final : public Detector {
   }
 };
 
+// --- Cycle-count-adaptive clique h-cycle detector (arXiv 2408.15132) ------
+
+class CliqueHCycleDetector final : public Detector {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "clique_hcycle"; }
+
+  [[nodiscard]] const DetectorCapabilities& capabilities() const noexcept override {
+    // max_k = 16 is a lab-practicality bound on the collector's exact
+    // search over sampled subgraphs, not an algorithmic limit.
+    static constexpr DetectorCapabilities caps{
+        .min_k = 3,
+        .max_k = 16,
+        .has_repetitions = false,
+        .models = congest::kModelClique,
+        .exact_when_lossless = true,
+        .summary = "cycle-count-adaptive Congested-Clique h-cycle detection (CEW): "
+                   "doubling vertex samples to a collector, exact subgraph search, "
+                   "early exit when copies abound"};
+    return caps;
+  }
+
+  [[nodiscard]] std::span<const CounterDef> counters() const noexcept override {
+    // Names and order are the JSONL contract for algo=clique_hcycle cells.
+    static constexpr CounterDef defs[] = {
+        {"phases_total", CounterKind::kSum},
+        {"sampled_vertices_total", CounterKind::kSum},
+        {"sampled_edges_total", CounterKind::kSum},
+        {"early_exit_trials", CounterKind::kSum},
+        {"rounds_saved_total", CounterKind::kSum},
+    };
+    return defs;
+  }
+
+  [[nodiscard]] Verdict run(congest::Simulator& sim,
+                            const DetectorOptions& options) const override {
+    baselines::CliqueHCycleOptions bopt;
+    bopt.k = options.k;
+    bopt.seed = options.seed;
+    bopt.validate_witnesses = options.validate_witnesses;
+    bopt.pool = options.pool;
+    bopt.drop = options.drop;
+    bopt.delivery = options.delivery;
+    baselines::CliqueHCycleVerdict bv = baselines::detect_hcycle_clique(sim, bopt);
+    Verdict v;
+    v.accepted = bv.accepted;
+    v.rejecting_nodes = bv.rejecting_nodes;
+    v.witness = std::move(bv.witness);
+    v.truncated = !bv.stats.halted;
+    v.stats = std::move(bv.stats);
+    v.counters = {bv.phases, bv.sampled_vertices, bv.sampled_edges,
+                  bv.early_exit ? std::uint64_t{1} : std::uint64_t{0}, bv.rounds_saved};
+    return v;
+  }
+};
+
 }  // namespace
+
+const congest::CommModel& default_comm_model(const DetectorCapabilities& caps) {
+  // Congest first: the historical default, and the choice that keeps every
+  // pre-model run_fresh call byte-identical.
+  if (supports_model(caps, congest::CommModelKind::kCongest)) return congest::CommModel::congest();
+  if (supports_model(caps, congest::CommModelKind::kClique)) return congest::CommModel::clique();
+  return congest::CommModel::broadcast();
+}
 
 Verdict Detector::run_fresh(const graph::Graph& g, const graph::IdAssignment& ids,
                             const DetectorOptions& options) const {
-  congest::Simulator sim(g, ids);
+  congest::Simulator sim(g, ids, default_comm_model(capabilities()));
   return run(sim, options);
 }
 
@@ -316,6 +382,7 @@ std::string capability_line(const Detector& d) {
   if (caps.draws_edge) out += "; draws one target edge per run";
   out += caps.distributed ? "; distributed" : "; centralized";
   if (caps.distributed && caps.simulator_reuse) out += ", simulator-reuse";
+  out += "; models: " + congest::model_mask_names(caps.models);
   out += " — ";
   out += caps.summary;
   return out;
@@ -334,6 +401,7 @@ const DetectorRegistry& DetectorRegistry::builtin() {
     r.add(std::make_unique<C4Detector>());
     r.add(std::make_unique<TriangleDetector>());
     r.add(std::make_unique<ColorCodingDetector>());
+    r.add(std::make_unique<CliqueHCycleDetector>());
     return r;
   }();
   return registry;
@@ -383,6 +451,30 @@ std::string DetectorRegistry::names_supporting_k(unsigned k) const {
     out += d->name();
   }
   return out;
+}
+
+std::string DetectorRegistry::names_supporting_model(congest::CommModelKind kind) const {
+  std::string out;
+  for (const Detector* d : order_) {
+    if (!supports_model(d->capabilities(), kind)) continue;
+    if (!out.empty()) out += ", ";
+    out += d->name();
+  }
+  return out;
+}
+
+std::string DetectorRegistry::validate_model(const Detector& d,
+                                             const congest::CommModel& model) const {
+  const DetectorCapabilities& caps = d.capabilities();
+  if (supports_model(caps, model.kind())) return {};
+  std::string msg = "algorithm '" + std::string(d.name()) + "' runs under models [" +
+                    congest::model_mask_names(caps.models) + "], got model '" +
+                    std::string(model.name()) + "'";
+  const std::string alternatives = names_supporting_model(model.kind());
+  msg += alternatives.empty() ? " (no registered algorithm accepts this model)"
+                              : " (algorithms accepting model=" + std::string(model.name()) +
+                                    ": " + alternatives + ")";
+  return msg;
 }
 
 std::string DetectorRegistry::validate_k(const Detector& d, unsigned k) const {

@@ -24,8 +24,9 @@
 ///     programs (see witness.hpp for the validation step that converts);
 ///   * `DetectorRegistry` — the fixed-order collection of built-in
 ///     detectors (tester, edge_checker, threshold, c4, triangle,
-///     color_coding) that consumers iterate or look up by name. Adding an
-///     algorithm is one registration, not edits to five layers.
+///     color_coding, clique_hcycle) that consumers iterate or look up by
+///     name. Adding an algorithm is one registration, not edits to five
+///     layers.
 ///
 /// Determinism contract: run() must be a pure function of (topology, ids,
 /// options) — bit-identical across thread counts and across the
@@ -41,6 +42,7 @@
 #include <string_view>
 #include <vector>
 
+#include "congest/comm_model.hpp"
 #include "congest/simulator.hpp"
 #include "core/threshold/budget.hpp"
 #include "graph/graph.hpp"
@@ -73,8 +75,31 @@ struct DetectorCapabilities {
   /// Honors the Simulator::reset reuse contract: run() on a reused
   /// simulator is bit-identical to a fresh build.
   bool simulator_reuse = true;
+  /// Bitmask of congest::model_bit(CommModelKind) values naming the
+  /// communication models this detector runs under. run() must be handed a
+  /// Simulator built with a model in this mask (the lab refuses
+  /// `model=clique algo=tester` at parse time; the soak picks a compatible
+  /// model per detector). Centralized detectors read the topology only, so
+  /// every model is vacuously compatible — they set congest::kModelAll.
+  std::uint8_t models = congest::kModelCongest;
+  /// Drop-free runs are exact: an accept must agree with the DFS oracle
+  /// whatever the knobs (beyond the draws_edge / threshold-knob regimes the
+  /// soak already infers). The clique h-cycle detector sets this — its
+  /// final phase collects the whole graph.
+  bool exact_when_lossless = false;
   std::string_view summary;  ///< one-line description for listings
 };
+
+/// Whether \p caps admit a Simulator built under model \p kind.
+[[nodiscard]] constexpr bool supports_model(const DetectorCapabilities& caps,
+                                            congest::CommModelKind kind) noexcept {
+  return (caps.models & congest::model_bit(kind)) != 0;
+}
+
+/// The model run_fresh (and the soak) builds for a detector: congest when
+/// the mask admits it (the historical behaviour, byte-identical), otherwise
+/// the first model the mask names.
+[[nodiscard]] const congest::CommModel& default_comm_model(const DetectorCapabilities& caps);
 
 /// How a per-trial counter aggregates across a cell's trials.
 enum class CounterKind : std::uint8_t { kSum, kMax };
@@ -153,7 +178,8 @@ class Detector {
   [[nodiscard]] virtual Verdict run(congest::Simulator& sim,
                                     const DetectorOptions& options) const = 0;
 
-  /// Convenience: builds a topology-only Simulator for (g, ids) and runs.
+  /// Convenience: builds a topology-only Simulator for (g, ids) under
+  /// default_comm_model(capabilities()) and runs.
   [[nodiscard]] Verdict run_fresh(const graph::Graph& g, const graph::IdAssignment& ids,
                                   const DetectorOptions& options) const;
 };
@@ -163,11 +189,11 @@ class Detector {
 /// about what `algo=` accepts.
 [[nodiscard]] std::string capability_line(const Detector& d);
 
-/// Ordered, named collection of detectors. builtin() holds the six
+/// Ordered, named collection of detectors. builtin() holds the seven
 /// algorithms of this repository in fixed registration order (tester,
-/// edge_checker, threshold, c4, triangle, color_coding) — the order is part
-/// of the output contract for listings and meta records. Additional
-/// registries can be built for tests or extensions via add().
+/// edge_checker, threshold, c4, triangle, color_coding, clique_hcycle) —
+/// the order is part of the output contract for listings and meta records.
+/// Additional registries can be built for tests or extensions via add().
 class DetectorRegistry {
  public:
   DetectorRegistry() = default;
@@ -199,6 +225,15 @@ class DetectorRegistry {
 
   /// Comma-separated names of detectors whose k range admits \p k.
   [[nodiscard]] std::string names_supporting_k(unsigned k) const;
+
+  /// Comma-separated names of detectors whose model mask admits \p kind.
+  [[nodiscard]] std::string names_supporting_model(congest::CommModelKind kind) const;
+
+  /// Empty string when \p d runs under \p model; otherwise an error naming
+  /// the models \p d accepts and the registered alternatives that do run
+  /// under \p model (mirrors validate_k).
+  [[nodiscard]] std::string validate_model(const Detector& d,
+                                           const congest::CommModel& model) const;
 
   /// Empty string when \p d supports cycle length \p k; otherwise an error
   /// naming the supported range and the registered alternatives that do

@@ -53,7 +53,7 @@ RateEstimate estimate_rate_lanes(const LaneFactory& make_lane, std::size_t trial
   // dispatch below re-checks the pointer so a future lane policy can't
   // turn a serial call into a null deref.
   if (pool != nullptr && lanes > 1) {
-    pool->for_indexed(lanes, run_lane);
+    pool->for_weighted(lanes, nullptr, run_lane);
   } else {
     run_lane(0);
   }

@@ -117,7 +117,7 @@ CellResult LabRunner::run_cell(const ScenarioCell& cell) const {
   const bool reuse = options_.reuse_simulators;
   const auto run_lane = [&](std::size_t lane) {
     std::optional<congest::Simulator> lane_sim;
-    if (shared && reuse) lane_sim.emplace(shared->graph, *shared_ids);
+    if (shared && reuse) lane_sim.emplace(shared->graph, *shared_ids, *cell.model);
     const auto [begin, end] = harness::lane_range(cell.trials, lane, lanes);
     for (std::size_t i = begin; i < end; ++i) {
       const std::uint64_t tseed = harness::trial_seed(cseed, i);
@@ -125,7 +125,7 @@ CellResult LabRunner::run_cell(const ScenarioCell& cell) const {
         if (lane_sim) {
           outcomes[i] = run_trial(cell, *shared, *lane_sim, tseed);
         } else {
-          congest::Simulator fresh(shared->graph, *shared_ids);
+          congest::Simulator fresh(shared->graph, *shared_ids, *cell.model);
           outcomes[i] = run_trial(cell, *shared, fresh, tseed);
         }
       } else {
@@ -133,13 +133,13 @@ CellResult LabRunner::run_cell(const ScenarioCell& cell) const {
         const BuiltTopology topo = build_topology(cell, grng);
         const graph::IdAssignment ids =
             graph::IdAssignment::identity(topo.graph.num_vertices());
-        congest::Simulator fresh(topo.graph, ids);
+        congest::Simulator fresh(topo.graph, ids, *cell.model);
         outcomes[i] = run_trial(cell, topo, fresh, tseed);
       }
     }
   };
   if (lanes > 1) {
-    pool->for_indexed(lanes, run_lane);
+    pool->for_weighted(lanes, nullptr, run_lane);
   } else {
     run_lane(0);
   }
@@ -229,6 +229,7 @@ std::string CellResult::to_json(bool include_timing) const {
       .field("seed_mode", seed_mode_name(cell.seed_mode))
       .field("delivery",
              cell.delivery == congest::DeliveryMode::kArena ? "arena" : "legacy")
+      .field("model", cell.model->name())
       .field("trials", trials)
       .field("cell_seed", cell.cell_seed());
   if (caps.has_repetitions) w.field("repetitions", repetitions);
@@ -303,6 +304,9 @@ std::string meta_record(const ScenarioSpec& spec, std::size_t num_cells) {
   w.end_array();
   w.key("adversary").begin_array();
   for (const auto& a : spec.adversaries) w.value(a.name());
+  w.end_array();
+  w.key("model").begin_array();
+  for (const congest::CommModel* m : spec.models) w.value(m->name());
   w.end_array();
   w.key("algo").begin_array();
   for (const core::Detector* a : spec.algos) w.value(a->name());

@@ -433,6 +433,13 @@ std::string ScenarioCell::key() const {
   out += " eps=" + json_double(epsilon);
   out += " n=" + std::to_string(n);
   out += " adversary=" + adversary.name();
+  DECYCLE_CHECK_MSG(model != nullptr, "scenario cell has no communication model");
+  // Appended only for non-congest models so pre-model cells keep their
+  // historical keys — cell seeds are content-addressed from this string and
+  // the golden nightly matrix pins the congest cells byte-for-byte.
+  if (model->kind() != congest::CommModelKind::kCongest) {
+    out += " model=" + std::string(model->name());
+  }
   DECYCLE_CHECK_MSG(algo != nullptr, "scenario cell has no detection algorithm");
   out += " algo=" + std::string(algo->name());
   return out;
@@ -492,6 +499,16 @@ ScenarioSpec ScenarioSpec::parse(std::span<const std::pair<std::string, std::str
       for (const std::string& token : split_commas(value)) {
         spec.adversaries.push_back(parse_adversary(token));
       }
+    } else if (key == "model") {
+      spec.models.clear();
+      for (const std::string& token : split_commas(value)) {
+        const congest::CommModel* model = congest::CommModel::find(token);
+        if (model == nullptr) {
+          fail("scenario key 'model': unknown communication model '" + token +
+               "' (known: " + congest::CommModel::known_names() + ")");
+        }
+        spec.models.push_back(model);
+      }
     } else if (key == "algo") {
       const core::DetectorRegistry& registry = core::DetectorRegistry::builtin();
       spec.algos.clear();
@@ -532,7 +549,7 @@ ScenarioSpec ScenarioSpec::parse(std::span<const std::pair<std::string, std::str
       }
     } else {
       fail("unknown scenario key '" + key +
-           "' (axes: family, k, eps, n, adversary, algo; scalars: trials, seed, reps, "
+           "' (axes: family, k, eps, n, adversary, model, algo; scalars: trials, seed, reps, "
            "seed_mode, delivery, budget, track)");
     }
   }
@@ -561,28 +578,36 @@ std::vector<ScenarioCell> ScenarioSpec::expand() const {
           const std::string err = validate_family(family, k, n);
           if (!err.empty()) fail("scenario matrix contains an unbuildable cell: " + err);
           for (const AdversarySpec& adversary : adversaries) {
-            for (const core::Detector* algo : algos) {
-              const std::string aerr =
-                  core::DetectorRegistry::builtin().validate_k(*algo, k);
-              if (!aerr.empty()) {
-                fail("scenario matrix contains an unsupported cell: " + aerr);
+            for (const congest::CommModel* model : models) {
+              for (const core::Detector* algo : algos) {
+                const std::string aerr =
+                    core::DetectorRegistry::builtin().validate_k(*algo, k);
+                if (!aerr.empty()) {
+                  fail("scenario matrix contains an unsupported cell: " + aerr);
+                }
+                const std::string merr =
+                    core::DetectorRegistry::builtin().validate_model(*algo, *model);
+                if (!merr.empty()) {
+                  fail("scenario matrix contains an unsupported cell: " + merr);
+                }
+                ScenarioCell cell;
+                cell.index = cells.size();
+                cell.family = family;
+                cell.k = k;
+                cell.epsilon = eps;
+                cell.n = n;
+                cell.adversary = adversary;
+                cell.model = model;
+                cell.algo = algo;
+                cell.seed_mode = seed_mode;
+                cell.delivery = delivery;
+                cell.trials = trials;
+                cell.base_seed = seed;
+                cell.repetitions = repetitions;
+                cell.budget = budget;
+                cell.track = track;
+                cells.push_back(std::move(cell));
               }
-              ScenarioCell cell;
-              cell.index = cells.size();
-              cell.family = family;
-              cell.k = k;
-              cell.epsilon = eps;
-              cell.n = n;
-              cell.adversary = adversary;
-              cell.algo = algo;
-              cell.seed_mode = seed_mode;
-              cell.delivery = delivery;
-              cell.trials = trials;
-              cell.base_seed = seed;
-              cell.repetitions = repetitions;
-              cell.budget = budget;
-              cell.track = track;
-              cells.push_back(std::move(cell));
             }
           }
         }

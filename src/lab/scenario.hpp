@@ -61,10 +61,14 @@ struct ScenarioCell {
   double epsilon = 0.1;
   std::uint64_t n = 64;  ///< family size parameter (vertices, or dimension for hypercube)
   AdversarySpec adversary;
+  /// Communication model the cell's simulators are built under — one of the
+  /// CommModel singletons, never null after parsing. Detectors whose
+  /// capability mask excludes the model are rejected at expand() time.
+  const congest::CommModel* model = &congest::CommModel::congest();
   /// Which detection algorithm this cell exercises — a registry-owned
   /// singleton from core::DetectorRegistry::builtin(), never null after
   /// parsing. The registry is the single source of truth: any registered
-  /// detector whose capabilities admit (k, …) is a valid axis value.
+  /// detector whose capabilities admit (k, model, …) is a valid axis value.
   const core::Detector* algo = core::DetectorRegistry::builtin().find("tester");
 
   // Shared scalars, copied from the spec for self-contained execution.
@@ -81,7 +85,9 @@ struct ScenarioCell {
   /// Canonical content key, e.g. "family=planted k=5 eps=0.1 n=64
   /// adversary=none algo=tester". Cell seeds are derived from this, so a
   /// cell's results are invariant under adding or reordering other axis
-  /// values.
+  /// values. A ` model=<name>` token is appended only for non-congest
+  /// models: pre-model cells keep their historical keys (and therefore
+  /// their golden-pinned seeds) bit-for-bit.
   [[nodiscard]] std::string key() const;
 
   /// Deterministic 64-bit seed folded from base_seed and key().
@@ -95,6 +101,7 @@ struct ScenarioSpec {
   std::vector<double> epsilons = {0.1};
   std::vector<std::uint64_t> sizes = {64};
   std::vector<AdversarySpec> adversaries = {{}};
+  std::vector<const congest::CommModel*> models = {&congest::CommModel::congest()};
   std::vector<const core::Detector*> algos = {core::DetectorRegistry::builtin().find("tester")};
 
   SeedMode seed_mode = SeedMode::kSharedGraph;
@@ -106,9 +113,9 @@ struct ScenarioSpec {
   std::uint64_t track = 8;
 
   /// Parses `key=value` pairs (axis keys: family, k, eps, n, adversary,
-  /// algo; scalar keys: trials, seed, reps, seed_mode, delivery, budget,
-  /// track). Throws CheckError naming the offending key/value and the
-  /// accepted options.
+  /// model, algo; scalar keys: trials, seed, reps, seed_mode, delivery,
+  /// budget, track). Throws CheckError naming the offending key/value and
+  /// the accepted options.
   [[nodiscard]] static ScenarioSpec parse(
       std::span<const std::pair<std::string, std::string>> pairs);
 
@@ -116,9 +123,10 @@ struct ScenarioSpec {
   [[nodiscard]] static ScenarioSpec parse_tokens(const std::vector<std::string>& tokens);
 
   /// Cross product in fixed nesting order family > k > eps > n > adversary
-  /// > algo (algo fastest). Validates every (family, k, n) combination —
-  /// e.g. ckfree_bipartite requires odd k — and every (algo, k) pair
-  /// against the detector's capabilities (e.g. algo=c4 accepts k=4 only),
+  /// > model > algo (algo fastest). Validates every (family, k, n)
+  /// combination — e.g. ckfree_bipartite requires odd k — and every
+  /// (algo, k) and (algo, model) pair against the detector's capabilities
+  /// (e.g. algo=c4 accepts k=4 only; algo=tester refuses model=clique),
   /// throwing errors that name the accepted alternatives, so an unsupported
   /// matrix never silently produces meaningless cells.
   [[nodiscard]] std::vector<ScenarioCell> expand() const;

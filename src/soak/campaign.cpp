@@ -212,7 +212,7 @@ CampaignSummary run_campaign(const CampaignOptions& options) {
       }
     };
     if (lanes > 1) {
-      pool->for_indexed(lanes, run_lane);
+      pool->for_weighted(lanes, nullptr, run_lane);
     } else {
       run_lane(0);
     }

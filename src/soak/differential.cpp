@@ -18,6 +18,10 @@ constexpr std::uint64_t kProbeTag = 0x70726f62655f5f31ULL;  // "probe__1"
 constexpr std::uint64_t kDropTag = 0x64726f705f5f5f32ULL;   // "drop___2"
 constexpr std::uint64_t kRunTag = 0x72756e5f5f5f5f31ULL;    // "run____1"
 
+/// Largest instance for which run_differential will build a dense-model
+/// (clique) simulator for detectors that cannot run under congest.
+constexpr graph::Vertex kDenseModelMaxN = 512;
+
 /// Per-(scenario, detector) run seed: fold the detector name so sibling
 /// detectors never share a random stream.
 std::uint64_t run_seed(const SoakScenario& s, std::string_view detector) {
@@ -36,6 +40,9 @@ bool exact_regime(const core::DetectorCapabilities& caps, const SoakScenario& s)
   if (s.adversary.kind != lab::AdversarySpec::Kind::kNone && s.adversary.rate > 0.0) {
     return false;
   }
+  // Unconditionally exact when lossless (the clique h-cycle detector's final
+  // phase collects the whole graph), whatever the knobs.
+  if (caps.exact_when_lossless) return true;
   if (caps.draws_edge) return true;
   return caps.uses_threshold_knobs && s.budget.unlimited() && s.track == 0;
 }
@@ -47,6 +54,10 @@ DetectorOutcome run_one(const graph::Graph& g, const SoakScenario& s,
   out.detector = &d;
   const core::DetectorCapabilities& caps = d.capabilities();
   if (s.k < caps.min_k || s.k > caps.max_k) return out;
+  // Model gate: a detector only runs on a simulator whose communication
+  // model its capability mask admits (run_differential hands model-specific
+  // detectors a compatible simulator when the instance is small enough).
+  if (!core::supports_model(caps, sim.model().kind())) return out;
   if (caps.draws_edge && !oracle.has_probe) return out;
   out.ran = true;
   out.exact_regime = exact_regime(caps, s);
@@ -143,10 +154,27 @@ DifferentialReport run_differential(const graph::Graph& g, const SoakScenario& s
   DifferentialReport report;
   report.oracle = oracle_context(g, s);
   const graph::IdAssignment ids = graph::IdAssignment::identity(g.num_vertices());
-  congest::Simulator sim(g, ids);  // one build, reset by every distributed detector
+  congest::Simulator sim(g, ids);  // one build, reset by every congest-model detector
+  // Detectors whose mask excludes congest get a lazily built simulator under
+  // their default model — capped by instance size, because the clique model
+  // materializes K_n (n = 512 is ~131k links; the soak's instances are far
+  // smaller, so in practice nothing is gated out by the cap).
+  std::optional<congest::Simulator> alt_sim;
+  const congest::CommModel* alt_model = nullptr;
   report.outcomes.reserve(registry.size());
   for (const core::Detector* d : registry.detectors()) {
-    report.outcomes.push_back(run_one(g, s, *d, report.oracle, sim));
+    const core::DetectorCapabilities& caps = d->capabilities();
+    congest::Simulator* target = &sim;
+    if (!core::supports_model(caps, congest::CommModelKind::kCongest) &&
+        g.num_vertices() <= kDenseModelMaxN) {
+      const congest::CommModel& model = core::default_comm_model(caps);
+      if (alt_model != &model) {
+        alt_sim.emplace(g, ids, model);
+        alt_model = &model;
+      }
+      target = &*alt_sim;
+    }
+    report.outcomes.push_back(run_one(g, s, *d, report.oracle, *target));
     if (report.outcomes.back().mismatch != MismatchKind::kNone) ++report.mismatches;
   }
   return report;
@@ -156,7 +184,10 @@ MismatchKind check_detector(const graph::Graph& g, const SoakScenario& s,
                             const core::Detector& detector, std::string* detail) {
   const OracleContext oracle = oracle_context(g, s);
   const graph::IdAssignment ids = graph::IdAssignment::identity(g.num_vertices());
-  congest::Simulator sim(g, ids);
+  // The detector's default model, so replay/shrink probes of model-specific
+  // detectors actually run instead of being capability-gated to a vacuous
+  // kNone.
+  congest::Simulator sim(g, ids, core::default_comm_model(detector.capabilities()));
   const DetectorOutcome outcome = run_one(g, s, detector, oracle, sim);
   if (detail != nullptr) *detail = outcome.detail;
   return outcome.mismatch;

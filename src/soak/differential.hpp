@@ -12,9 +12,17 @@
 ///   * exactness (drop-free runs only) — detectors that advertise an exact
 ///     regime must agree with the oracle in it: a draws_edge detector's
 ///     accept is checked against the oracle's cycle search through its probe
-///     edge, and a threshold-knob detector with an unlimited budget and
+///     edge, a threshold-knob detector with an unlimited budget and
 ///     untracked executions is an exhaustive scan whose accept must match
-///     has_cycle. An accept where the oracle finds a cycle is kMissedCycle.
+///     has_cycle, and an exact_when_lossless detector (the clique h-cycle
+///     detector) pins its accept to the oracle under every knob setting.
+///     An accept where the oracle finds a cycle is kMissedCycle.
+///
+/// Communication models: each detector runs on a simulator whose model its
+/// capability mask admits — the shared congest simulator for the classic
+/// detectors, a lazily built dense-model simulator (clique) for the rest.
+/// A detector with no compatible simulator for the instance is
+/// capability-gated out (ran = false), exactly like an out-of-range k.
 ///
 /// Probabilistic accepts (amplified tester under drops, sampling baselines)
 /// are never per-instance mismatches; their aggregate behaviour is audited
@@ -77,9 +85,11 @@ struct DifferentialReport {
   std::size_t mismatches = 0;
 };
 
-/// Runs every detector of \p registry on (g, scenario) — one Simulator built
-/// per call and reset by each distributed detector (the reuse contract) —
-/// and classifies every verdict. Defaults to the built-in registry.
+/// Runs every detector of \p registry on (g, scenario) — one congest
+/// Simulator built per call and reset by each congest-model detector (the
+/// reuse contract), plus a lazily built dense-model simulator for detectors
+/// whose mask excludes congest — and classifies every verdict. Defaults to
+/// the built-in registry.
 [[nodiscard]] DifferentialReport run_differential(
     const graph::Graph& g, const SoakScenario& s,
     const core::DetectorRegistry& registry = core::DetectorRegistry::builtin());

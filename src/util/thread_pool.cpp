@@ -38,7 +38,7 @@ void ThreadPool::worker_loop() {
       cv_.wait(lock, [&] { return stopping_ || batch_epoch_ != seen_epoch; });
       if (stopping_) return;
       // Enter the current batch: snapshot its descriptor under the lock.
-      // for_indexed() never replaces the descriptor while any worker is
+      // for_weighted() never replaces the descriptor while any worker is
       // inside (it waits for batch_workers_inside_ == 0), so the snapshot
       // and the shared cursors always belong to the same batch.
       seen_epoch = batch_epoch_;
@@ -75,10 +75,6 @@ void ThreadPool::drain_batch(IndexFnRef fn, std::size_t count) {
       batch_cv_.notify_all();
     }
   }
-}
-
-void ThreadPool::for_indexed(std::size_t count, IndexFnRef fn) {
-  scheduler_.run(*this, count, nullptr, fn);
 }
 
 void ThreadPool::for_weighted(std::size_t count, const std::uint64_t* weights, IndexFnRef fn) {
@@ -135,7 +131,7 @@ void ThreadPool::parallel_for_chunked(std::size_t count,
     const std::size_t end = std::min(count, begin + chunk);
     fn(begin, end);
   };
-  for_indexed(num_tasks, run_chunk);
+  for_weighted(num_tasks, nullptr, run_chunk);
 }
 
 void ThreadPool::parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn) {

@@ -7,11 +7,11 @@
 ///     cores (each trial owns its RNG stream, so results are identical for
 ///     any thread count) — via parallel_for;
 ///   * the CONGEST simulator steps active nodes and shards the delivery
-///     merge within every round — via for_indexed / for_weighted, which
-///     dispatch chunk ids through the work-stealing scheduler
-///     (work_steal.hpp) so skewed chunk costs rebalance across lanes, and
-///     a steady-state round performs no heap allocation in the pool
-///     (DESIGN.md §4, §10). parallel_for is a thin chunking layer on top.
+///     merge within every round — via for_weighted, which dispatches chunk
+///     ids through the work-stealing scheduler (work_steal.hpp) so skewed
+///     chunk costs rebalance across lanes, and a steady-state round
+///     performs no heap allocation in the pool (DESIGN.md §4, §10).
+///     parallel_for is a thin chunking layer on top.
 ///
 /// The lane layer underneath is deliberately simple — one mutex-guarded
 /// in-flight batch that workers join by snapshotting its descriptor; the
@@ -75,32 +75,22 @@ class ThreadPool {
   void parallel_for_chunked(std::size_t count,
                             const std::function<void(std::size_t, std::size_t)>& fn);
 
-  /// Runs fn(i) for i in [0, count), blocking until done. The calling thread
+  /// Work-stealing batch with a cost-weighted initial split: runs fn(i) for
+  /// i in [0, count), blocking until done; \p weights (length \p count,
+  /// nullptr for unit) biases which contiguous chunk runs seed each lane's
+  /// deque, and lanes rebalance by stealing. The calling thread
   /// participates. Indices should be coarse chunks (the caller decides the
   /// chunking — this is what makes results independent of the worker
   /// count). Exceptions propagate (first one wins) after the batch drains.
   /// Steady-state batches perform no heap allocation. Concurrent calls from
   /// different threads serialize. Not reentrant: must not be called from
   /// inside a pool task.
-  ///
-  /// Compatibility shim (deprecated for hot paths): since the work-stealing
-  /// scheduler landed this is exactly for_weighted with unit weights —
-  /// chunks are dealt to per-lane deques and rebalance by stealing instead
-  /// of racing a shared cursor. Existing callers (lab lanes, estimator)
-  /// keep working unchanged; new cost-skewed callers should prefer
-  /// for_weighted so the initial split already matches the work.
-  void for_indexed(std::size_t count, IndexFnRef fn);
-
-  /// Work-stealing batch with a cost-weighted initial split: \p weights
-  /// (length \p count, nullptr for unit) biases which contiguous chunk runs
-  /// seed each lane's deque. Same blocking/exception/no-allocation contract
-  /// as for_indexed.
   void for_weighted(std::size_t count, const std::uint64_t* weights, IndexFnRef fn);
 
   /// Low-level lane dispatch used by the scheduler: runs fn(l) exactly once
   /// for every lane l in [0, lanes), claimed from an atomic cursor by the
   /// caller plus any workers that wake in time (so one thread may execute
-  /// several lanes). Most code wants for_indexed/for_weighted instead.
+  /// several lanes). Most code wants for_weighted instead.
   void run_lanes(std::size_t lanes, IndexFnRef fn);
 
   /// Successful steals across all batches (diagnostics / tests).
@@ -129,7 +119,7 @@ class ThreadPool {
   std::condition_variable batch_cv_;      ///< completion / drain signaling
   std::exception_ptr batch_error_;
 
-  WorkStealScheduler scheduler_;  ///< chunk distribution for for_indexed/for_weighted
+  WorkStealScheduler scheduler_;  ///< chunk distribution for for_weighted
 };
 
 /// Process-wide pool for the harness (constructed on first use).

@@ -21,7 +21,7 @@
 /// Determinism: which lane executes a chunk is scheduling-dependent, but
 /// callers slot results per chunk id and reduce in fixed chunk order, so
 /// every output is bit-identical for any thread count — the same contract
-/// ThreadPool::for_indexed always had (DESIGN.md §3.2, §10).
+/// ThreadPool::for_weighted always had (DESIGN.md §3.2, §10).
 ///
 /// All buffers (deques, their item arrays) grow to a high-water mark and
 /// are reused across batches, so a steady-state batch performs no heap
@@ -53,7 +53,7 @@ class WorkStealScheduler {
   /// to total/lanes. Pass nullptr for unit weights. The calling thread
   /// participates. Exceptions from fn are captured; the first one rethrows
   /// after the batch drains (remaining chunks still run, matching
-  /// ThreadPool::for_indexed semantics). Not reentrant: must not be called
+  /// ThreadPool::for_weighted semantics). Not reentrant: must not be called
   /// from inside pool work. Concurrent callers serialize on the scheduler,
   /// then on the pool's batch lock.
   void run(ThreadPool& pool, std::size_t count, const std::uint64_t* weights, IndexFnRef fn);

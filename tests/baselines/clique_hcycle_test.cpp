@@ -1,0 +1,178 @@
+/// \file clique_hcycle_test.cpp
+/// \brief Congested-Clique adaptive h-cycle detector: exactness against the
+/// DFS oracle, witness validity, early-exit instrumentation, one-sidedness
+/// under drops, the fresh-vs-reuse bit-identity contract, and the loud
+/// model-mismatch guard.
+#include "baselines/clique_hcycle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "graph/generators.hpp"
+#include "graph/subgraph.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace decycle::baselines {
+namespace {
+
+using graph::Graph;
+using graph::IdAssignment;
+using graph::Vertex;
+
+TEST(CliqueHCycle, RejectsCkWithValidatedWitness) {
+  for (unsigned k = 3; k <= 8; ++k) {
+    const Graph g = graph::cycle(k);
+    const IdAssignment ids = IdAssignment::identity(k);
+    CliqueHCycleOptions opt;
+    opt.k = k;
+    const auto v = detect_hcycle_clique(g, ids, opt);
+    EXPECT_FALSE(v.accepted) << "k=" << k;
+    ASSERT_EQ(v.witness.size(), k) << "k=" << k;
+    EXPECT_TRUE(graph::validate_cycle(g, v.witness)) << "k=" << k;
+    EXPECT_EQ(v.rejecting_nodes, k) << "everyone hears the witness broadcast";
+    EXPECT_TRUE(v.stats.halted);
+  }
+}
+
+TEST(CliqueHCycle, AcceptsAcyclicAndShortCycleInputs) {
+  CliqueHCycleOptions opt;
+  opt.k = 5;
+  {
+    const Graph g = graph::path(17);
+    const auto v = detect_hcycle_clique(g, IdAssignment::identity(17), opt);
+    EXPECT_TRUE(v.accepted);
+    EXPECT_TRUE(v.witness.empty());
+    EXPECT_EQ(v.rejecting_nodes, 0u);
+    EXPECT_FALSE(v.early_exit);
+    EXPECT_EQ(v.sampled_vertices, 17u);  // accept = the full graph was searched
+  }
+  {
+    // A C4 is not a C5: exactness is for the target length, not "any cycle".
+    const Graph g = graph::cycle(4);
+    EXPECT_TRUE(detect_hcycle_clique(g, IdAssignment::identity(4), opt).accepted);
+  }
+}
+
+TEST(CliqueHCycle, AgreesWithDfsOracleOnRandomGraphs) {
+  util::Rng rng(11);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Graph g = graph::erdos_renyi_gnp(32, 0.08, rng);
+    const IdAssignment ids = IdAssignment::identity(32);
+    CliqueHCycleOptions opt;
+    opt.k = 5;
+    opt.seed = 1000 + static_cast<std::uint64_t>(trial);
+    const auto v = detect_hcycle_clique(g, ids, opt);
+    const bool has_c5 = graph::find_cycle(g, 5).has_value();
+    EXPECT_EQ(v.accepted, !has_c5) << "trial " << trial;
+    if (!v.accepted) {
+      EXPECT_TRUE(graph::validate_cycle(g, v.witness)) << "trial " << trial;
+    }
+  }
+}
+
+TEST(CliqueHCycle, CycleRichInputsExitEarlyWithFewerSampledVertices) {
+  // Dense-in-cycles: K_40 contains C_5 copies everywhere, so the very first
+  // sample already induces one; the schedule exits phases early.
+  const Graph rich = graph::complete(40);
+  const IdAssignment ids = IdAssignment::identity(40);
+  CliqueHCycleOptions opt;
+  opt.k = 5;
+  const auto fast = detect_hcycle_clique(rich, ids, opt);
+  EXPECT_FALSE(fast.accepted);
+  EXPECT_TRUE(fast.early_exit);
+  EXPECT_GT(fast.rounds_saved, 0u);
+  EXPECT_LT(fast.sampled_vertices, 40u);
+  EXPECT_EQ(fast.phases, 1u);  // s0 = 8 vertices of K_40 already hold a C_5
+
+  // Cycle-free input: the schedule must run to the full graph.
+  const Graph poor = graph::star(40);
+  const auto slow = detect_hcycle_clique(poor, IdAssignment::identity(40), opt);
+  EXPECT_TRUE(slow.accepted);
+  EXPECT_FALSE(slow.early_exit);
+  EXPECT_EQ(slow.rounds_saved, 0u);
+  EXPECT_EQ(slow.sampled_vertices, 40u);
+  EXPECT_GT(slow.phases, fast.phases);
+  EXPECT_GT(slow.stats.rounds_executed, fast.stats.rounds_executed);
+}
+
+TEST(CliqueHCycle, DropsLoseDetectionsButNeverFabricate) {
+  // Drop EVERY row report: the collector sees an empty subgraph forever and
+  // must accept (a lost detection), never invent a witness.
+  const Graph g = graph::cycle(6);
+  const IdAssignment ids = IdAssignment::identity(6);
+  CliqueHCycleOptions opt;
+  opt.k = 6;
+  opt.drop = [](std::uint64_t, Vertex from, Vertex to) { return to == 0 && from != 0; };
+  const auto v = detect_hcycle_clique(g, ids, opt);
+  EXPECT_TRUE(v.accepted);
+  EXPECT_TRUE(v.witness.empty());
+  EXPECT_TRUE(v.stats.halted) << "collector self-wakeups must keep the schedule alive";
+
+  // Acyclic input under arbitrary drops: still accepts (1-sided).
+  const Graph tree = graph::star(12);
+  opt.drop = [](std::uint64_t r, Vertex, Vertex) { return r % 2 == 0; };
+  EXPECT_TRUE(detect_hcycle_clique(tree, IdAssignment::identity(12), opt).accepted);
+}
+
+TEST(CliqueHCycle, ReuseOverloadMatchesFreshBuildBitForBit) {
+  util::Rng rng(7);
+  const Graph g = graph::erdos_renyi_gnp(24, 0.12, rng);
+  const IdAssignment ids = IdAssignment::identity(24);
+  congest::Simulator sim(g, ids, congest::CommModel::clique());
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    CliqueHCycleOptions opt;
+    opt.k = 4;
+    opt.seed = seed;
+    const auto fresh = detect_hcycle_clique(g, ids, opt);
+    const auto reused = detect_hcycle_clique(sim, opt);
+    EXPECT_EQ(fresh.accepted, reused.accepted) << seed;
+    EXPECT_EQ(fresh.witness, reused.witness) << seed;
+    EXPECT_EQ(fresh.phases, reused.phases) << seed;
+    EXPECT_EQ(fresh.sampled_vertices, reused.sampled_vertices) << seed;
+    EXPECT_EQ(fresh.sampled_edges, reused.sampled_edges) << seed;
+    EXPECT_EQ(fresh.stats.rounds_executed, reused.stats.rounds_executed) << seed;
+    EXPECT_EQ(fresh.stats.total_messages, reused.stats.total_messages) << seed;
+    EXPECT_EQ(fresh.stats.total_bits, reused.stats.total_bits) << seed;
+  }
+}
+
+TEST(CliqueHCycle, ThrowsLoudlyOnANonCliqueSimulator) {
+  const Graph g = graph::cycle(5);
+  const IdAssignment ids = IdAssignment::identity(5);
+  congest::Simulator congest_sim(g, ids, congest::CommModel::congest());
+  CliqueHCycleOptions opt;
+  opt.k = 5;
+  try {
+    (void)detect_hcycle_clique(congest_sim, opt);
+    FAIL() << "expected CheckError";
+  } catch (const util::CheckError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("congest"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("CommModel::clique()"), std::string::npos) << msg;
+  }
+}
+
+TEST(CliqueHCycle, TinyGraphsAndEdgeCases) {
+  CliqueHCycleOptions opt;
+  opt.k = 3;
+  {
+    const Graph g = Graph::from_edges(1, {});
+    const auto v = detect_hcycle_clique(g, IdAssignment::identity(1), opt);
+    EXPECT_TRUE(v.accepted);
+  }
+  {
+    const Graph g = Graph::from_edges(0, {});
+    EXPECT_TRUE(detect_hcycle_clique(g, IdAssignment::identity(0), opt).accepted);
+  }
+  {
+    const Graph g = graph::complete(3);
+    const auto v = detect_hcycle_clique(g, IdAssignment::identity(3), opt);
+    EXPECT_FALSE(v.accepted);
+    EXPECT_TRUE(graph::validate_cycle(g, v.witness));
+  }
+}
+
+}  // namespace
+}  // namespace decycle::baselines

@@ -13,21 +13,22 @@
 namespace decycle::core {
 namespace {
 
-TEST(DetectorRegistry, BuiltinRegistersAllSixInFixedOrder) {
+TEST(DetectorRegistry, BuiltinRegistersAllSevenInFixedOrder) {
   const DetectorRegistry& registry = DetectorRegistry::builtin();
-  ASSERT_EQ(registry.size(), 6u);
+  ASSERT_EQ(registry.size(), 7u);
   const char* expected[] = {"tester",
                             "edge_checker",
                             "threshold",
                             "c4",
                             "triangle",
-                            "color_coding"};
+                            "color_coding",
+                            "clique_hcycle"};
   const auto detectors = registry.detectors();
   for (std::size_t i = 0; i < std::size(expected); ++i) {
     EXPECT_EQ(detectors[i]->name(), expected[i]) << "registration order drifted at " << i;
   }
   EXPECT_EQ(registry.known_names(),
-            "tester, edge_checker, threshold, c4, triangle, color_coding");
+            "tester, edge_checker, threshold, c4, triangle, color_coding, clique_hcycle");
 }
 
 TEST(DetectorRegistry, FindAndRequire) {
@@ -69,6 +70,41 @@ TEST(DetectorRegistry, CapabilitiesMatchTheAlgorithms) {
 
   const DetectorCapabilities& cc = registry.require("color_coding").capabilities();
   EXPECT_FALSE(cc.distributed);
+  EXPECT_EQ(cc.models, congest::kModelAll);  // centralized: reads topology only
+
+  const DetectorCapabilities& chc = registry.require("clique_hcycle").capabilities();
+  EXPECT_EQ(chc.models, congest::kModelClique);
+  EXPECT_TRUE(chc.exact_when_lossless);
+  EXPECT_FALSE(chc.has_repetitions);
+  EXPECT_EQ(chc.min_k, 3u);
+}
+
+TEST(DetectorRegistry, ModelCapabilitiesAndValidation) {
+  const DetectorRegistry& registry = DetectorRegistry::builtin();
+  const Detector& tester = registry.require("tester");
+  const Detector& chc = registry.require("clique_hcycle");
+
+  // Defaults: classic detectors are congest-only and run_fresh builds
+  // congest (the historical behaviour); clique_hcycle defaults to clique.
+  EXPECT_TRUE(supports_model(tester.capabilities(), congest::CommModelKind::kCongest));
+  EXPECT_FALSE(supports_model(tester.capabilities(), congest::CommModelKind::kClique));
+  EXPECT_EQ(&default_comm_model(tester.capabilities()), &congest::CommModel::congest());
+  EXPECT_EQ(&default_comm_model(chc.capabilities()), &congest::CommModel::clique());
+
+  EXPECT_EQ(registry.validate_model(tester, congest::CommModel::congest()), "");
+  EXPECT_EQ(registry.validate_model(chc, congest::CommModel::clique()), "");
+
+  const std::string err = registry.validate_model(tester, congest::CommModel::clique());
+  EXPECT_NE(err.find("algorithm 'tester' runs under models [congest]"), std::string::npos)
+      << err;
+  EXPECT_NE(err.find("got model 'clique'"), std::string::npos) << err;
+  EXPECT_NE(err.find("clique_hcycle"), std::string::npos) << err;  // named alternative
+  EXPECT_NE(err.find("color_coding"), std::string::npos) << err;   // kModelAll qualifies
+
+  EXPECT_EQ(registry.names_supporting_model(congest::CommModelKind::kClique),
+            "color_coding, clique_hcycle");
+  EXPECT_EQ(registry.names_supporting_model(congest::CommModelKind::kBroadcastCongest),
+            "color_coding");
 }
 
 TEST(DetectorRegistry, ValidateKNamesRangeAndAlternatives) {
@@ -84,7 +120,7 @@ TEST(DetectorRegistry, ValidateKNamesRangeAndAlternatives) {
   EXPECT_EQ(err.find("triangle"), std::string::npos) << err;  // k=3 only, not an alternative
 
   EXPECT_EQ(registry.names_supporting_k(3),
-            "tester, edge_checker, threshold, triangle, color_coding");
+            "tester, edge_checker, threshold, triangle, color_coding, clique_hcycle");
   EXPECT_EQ(registry.names_supporting_k(64), "tester, edge_checker, threshold");
 }
 

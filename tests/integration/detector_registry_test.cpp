@@ -13,6 +13,7 @@
 #include "graph/far_generators.hpp"
 #include "graph/generators.hpp"
 #include "graph/subgraph.hpp"
+#include "lab/scenario.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -100,6 +101,59 @@ TEST(DetectorRegistryCross, AgreementWithTheOracleOnRandomGraphs) {
       if (!v.accepted) {
         EXPECT_TRUE(graph::validate_cycle(g, v.witness)) << det->name();
       }
+    }
+  }
+}
+
+TEST(DetectorRegistryCross, CliqueHCycleAgreesWithTheOracleOnEveryLabFamily) {
+  // The Congested-Clique detector is exact on drop-free runs, so it must
+  // agree with the DFS oracle on EVERY registered graph family — the same
+  // instances the lab matrix sweeps — not just hand-picked topologies. New
+  // families are pulled into this agreement harness automatically.
+  const core::Detector& chc = DetectorRegistry::builtin().require("clique_hcycle");
+  const auto families = lab::known_families();
+  ASSERT_GE(families.size(), 16u);
+  util::Rng rng(0xC11C);
+  for (const lab::FamilyInfo& info : families) {
+    // Find a (k, n) combination the family accepts (e.g. ckfree_bipartite
+    // is odd-k only; some families have n floors).
+    lab::ScenarioCell cell;
+    cell.family = std::string(info.name);
+    cell.epsilon = 0.15;
+    bool found = false;
+    // The small trailing candidates cover families whose n is not a vertex
+    // count (hypercube's n is its dimension, capped at 20).
+    for (const std::uint64_t n : {24u, 30u, 32u, 40u, 5u, 6u}) {
+      for (const unsigned k : {5u, 4u, 3u, 7u}) {
+        if (lab::validate_family(info.name, k, n).empty()) {
+          cell.k = k;
+          cell.n = n;
+          found = true;
+          break;
+        }
+      }
+      if (found) break;
+    }
+    ASSERT_TRUE(found) << "no buildable (k, n) for family " << info.name;
+
+    const lab::BuiltTopology topo = lab::build_topology(cell, rng);
+    const bool oracle = graph::find_cycle(topo.graph, cell.k).has_value();
+    if (topo.truth == lab::GroundTruth::kCkFree) {
+      EXPECT_FALSE(oracle) << info.name;
+    }
+    if (topo.truth == lab::GroundTruth::kHasCk) {
+      EXPECT_TRUE(oracle) << info.name;
+    }
+
+    DetectorOptions opt;
+    opt.k = cell.k;
+    opt.seed = 0xFA17 + cell.k;
+    const auto ids = graph::IdAssignment::identity(topo.graph.num_vertices());
+    const Verdict v = chc.run_fresh(topo.graph, ids, opt);
+    EXPECT_EQ(!v.accepted, oracle) << "clique_hcycle disagreed with the oracle on "
+                                   << info.name << " (k=" << cell.k << ", n=" << cell.n << ")";
+    if (!v.accepted) {
+      EXPECT_TRUE(graph::validate_cycle(topo.graph, v.witness)) << info.name;
     }
   }
 }

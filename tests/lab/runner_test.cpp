@@ -95,6 +95,42 @@ TEST(LabRunner, BaselineAlgosDetectAndStaySound) {
   }
 }
 
+/// The model axis end-to-end: clique cells run the clique-only detector,
+/// stay exact on both ground truths, tag every JSONL line with the model
+/// column, and honor the same byte-identity contract as congest cells.
+TEST(LabRunner, CliqueModelCellsRunExactAndTagTheModelColumn) {
+  const std::vector<std::string> tokens = {
+      "family=planted,ckfree_highgirth", "k=5", "n=24", "trials=6", "seed=12",
+      "model=clique", "algo=clique_hcycle"};
+  const std::string serial = run_matrix_jsonl(tokens, nullptr, true);
+  EXPECT_NE(serial.find("\"model\":\"clique\""), std::string::npos);
+  util::ThreadPool pool8(8);
+  EXPECT_EQ(serial, run_matrix_jsonl(tokens, &pool8, true)) << "8 threads changed the bytes";
+  EXPECT_EQ(serial, run_matrix_jsonl(tokens, &pool8, false))
+      << "disabling Simulator reuse changed the bytes";
+
+  const ScenarioSpec spec = ScenarioSpec::parse_tokens(tokens);
+  const LabRunner runner{LabOptions{}};
+  for (const CellResult& res : runner.run_matrix(spec.expand())) {
+    // Drop-free clique runs are exact: every planted trial rejects with a
+    // validated witness, every Ck-free trial accepts.
+    if (res.truth == GroundTruth::kCkFree) {
+      EXPECT_EQ(res.rejections, 0u) << res.cell.key();
+    } else {
+      EXPECT_EQ(res.rejections, res.trials) << res.cell.key();
+    }
+    EXPECT_FALSE(res.soundness_violation);
+    EXPECT_GT(res.counter("sampled_vertices_total"), 0u);
+    EXPECT_NE(res.to_json(false).find("\"phases_total\":"), std::string::npos);
+  }
+
+  // Default cells tag congest — the column is unconditional even though
+  // key() (and thus cell seeds) only change for non-congest models.
+  const std::string congest =
+      run_matrix_jsonl({"family=planted", "k=5", "n=16", "trials=2", "seed=3"}, nullptr, true);
+  EXPECT_NE(congest.find("\"model\":\"congest\""), std::string::npos);
+}
+
 TEST(LabRunner, FreshGraphModeIsDeterministicToo) {
   const std::vector<std::string> tokens = {"family=planted", "k=5",       "n=20",
                                            "eps=0.15",       "trials=8",  "seed=5",
@@ -227,7 +263,8 @@ TEST(LabRunner, MetaRecordEchoesTheSpec) {
             "\"trials\":2,\"reps\":0,\"budget\":\"16\",\"track\":8,"
             "\"seed_mode\":\"shared\",\"delivery\":\"arena\","
             "\"cells\":2,\"axes\":{\"family\":[\"cycle\"],\"k\":[3,4],\"eps\":[0.5],"
-            "\"n\":[8],\"adversary\":[\"none\"],\"algo\":[\"tester\"]}}");
+            "\"n\":[8],\"adversary\":[\"none\"],\"model\":[\"congest\"],"
+            "\"algo\":[\"tester\"]}}");
 }
 
 TEST(JsonWriter, EscapesAndFormats) {

@@ -225,6 +225,68 @@ TEST(ScenarioSpec, ExpandRejectsCapabilityViolations) {
   EXPECT_THROW((void)bad.expand(), util::CheckError);
 }
 
+TEST(ScenarioSpec, ModelAxisParsesExpandsAndTagsKeys) {
+  // Default: the congest singleton, and key() carries no model suffix so
+  // every pre-model cell seed (and the golden nightly bytes) is unchanged.
+  const ScenarioSpec def = ScenarioSpec::parse_tokens({"family=cycle", "k=5", "n=10"});
+  ASSERT_EQ(def.models.size(), 1u);
+  EXPECT_EQ(def.models[0], &congest::CommModel::congest());
+  EXPECT_EQ(def.expand()[0].key().find("model="), std::string::npos);
+
+  const ScenarioSpec spec = ScenarioSpec::parse_tokens(
+      {"family=planted", "k=5", "n=20", "model=clique", "algo=clique_hcycle"});
+  const auto cells = spec.expand();
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].model, &congest::CommModel::clique());
+  EXPECT_NE(cells[0].key().find(" model=clique"), std::string::npos) << cells[0].key();
+
+  // model expands as an axis like any other; nesting puts it between
+  // adversary and algo.
+  const ScenarioSpec multi = ScenarioSpec::parse_tokens(
+      {"family=planted", "k=5", "model=congest,clique", "algo=color_coding"});
+  const auto mcells = multi.expand();
+  ASSERT_EQ(mcells.size(), 2u);
+  EXPECT_EQ(mcells[0].model->name(), "congest");
+  EXPECT_EQ(mcells[1].model->name(), "clique");
+  EXPECT_NE(mcells[0].cell_seed(), mcells[1].cell_seed());
+}
+
+TEST(ScenarioSpec, UnknownModelListsKnownOnes) {
+  const std::string err = parse_error({"model=quantum"});
+  EXPECT_NE(err.find("unknown communication model 'quantum'"), std::string::npos) << err;
+  EXPECT_NE(err.find("congest, broadcast, clique"), std::string::npos) << err;
+}
+
+TEST(ScenarioSpec, ExpandRejectsModelCapabilityViolations) {
+  // The FO17 tester is a CONGEST algorithm; pairing it with model=clique
+  // must die loudly at expand(), naming the models it does run under and
+  // every registered algorithm that accepts the clique — not silently run
+  // the wrong model.
+  const ScenarioSpec spec = ScenarioSpec::parse_tokens(
+      {"family=planted", "k=5", "model=clique", "algo=tester"});
+  try {
+    (void)spec.expand();
+    FAIL() << "expected CheckError";
+  } catch (const util::CheckError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("scenario matrix contains an unsupported cell"), std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("algorithm 'tester' runs under models [congest]"), std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("got model 'clique'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("algorithms accepting model=clique"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("clique_hcycle"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("color_coding"), std::string::npos) << msg;
+  }
+  // And the symmetric direction: the clique detector refuses congest cells.
+  const ScenarioSpec rev = ScenarioSpec::parse_tokens(
+      {"family=planted", "k=5", "algo=clique_hcycle"});
+  EXPECT_THROW((void)rev.expand(), util::CheckError);
+  const ScenarioSpec ok = ScenarioSpec::parse_tokens(
+      {"family=planted", "k=5", "model=clique", "algo=clique_hcycle"});
+  EXPECT_EQ(ok.expand().size(), 1u);
+}
+
 TEST(Adversary, ParseAndValidate) {
   EXPECT_EQ(parse_adversary("none").kind, AdversarySpec::Kind::kNone);
   const AdversarySpec uni = parse_adversary("uniform:0.25");

@@ -101,6 +101,47 @@ TEST(Differential, PlantedMissedCycleIsFlagged) {
   EXPECT_FALSE(lenient.outcomes[0].exact_regime);
 }
 
+TEST(Differential, CliqueDetectorJoinsViaItsDefaultModelAndIsExact) {
+  // clique_hcycle cannot run on the congest simulator the campaign builds;
+  // run_differential hands it a clique-model simulator instead, and its
+  // drop-free runs are pinned to the oracle (exact_when_lossless).
+  const auto find_chc = [](const DifferentialReport& report) -> const DetectorOutcome* {
+    for (const DetectorOutcome& d : report.outcomes) {
+      if (d.detector->name() == "clique_hcycle") return &d;
+    }
+    return nullptr;
+  };
+  {
+    const graph::Graph g = graph::cycle(6);
+    const DifferentialReport report = run_differential(g, exact_scenario(6));
+    const DetectorOutcome* chc = find_chc(report);
+    ASSERT_NE(chc, nullptr);
+    EXPECT_TRUE(chc->ran);
+    EXPECT_TRUE(chc->exact_regime);
+    EXPECT_TRUE(chc->rejected);
+    EXPECT_EQ(chc->mismatch, MismatchKind::kNone);
+  }
+  {
+    const graph::Graph g = graph::path(12);
+    const DetectorOutcome* chc = find_chc(run_differential(g, exact_scenario(5)));
+    ASSERT_NE(chc, nullptr);
+    EXPECT_TRUE(chc->ran);
+    EXPECT_FALSE(chc->rejected);
+  }
+  {
+    // Under a lossy adversary a miss is a legitimate outcome, never a
+    // mismatch: the exact pin only holds drop-free.
+    SoakScenario lossy = exact_scenario(6);
+    lossy.adversary = lab::parse_adversary("uniform:0.5");
+    const graph::Graph g = graph::cycle(6);
+    const DetectorOutcome* chc = find_chc(run_differential(g, lossy));
+    ASSERT_NE(chc, nullptr);
+    EXPECT_TRUE(chc->ran);
+    EXPECT_FALSE(chc->exact_regime);
+    EXPECT_EQ(chc->mismatch, MismatchKind::kNone);
+  }
+}
+
 TEST(Differential, CheckDetectorAgreesWithTheFullReport) {
   const graph::Graph g = graph::cycle(6);
   const SoakScenario s = exact_scenario(5);

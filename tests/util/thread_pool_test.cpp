@@ -83,32 +83,32 @@ TEST(ThreadPool, ManySmallBatches) {
   EXPECT_EQ(total.load(), 350);
 }
 
-TEST(ThreadPool, ForIndexedCoversEveryIndexOnce) {
+TEST(ThreadPool, ForWeightedUnitCoversEveryIndexOnce) {
   ThreadPool pool(4);
   constexpr std::size_t kN = 997;
   std::vector<std::atomic<int>> hits(kN);
   const auto fn = [&](std::size_t i) { hits[i].fetch_add(1); };
-  pool.for_indexed(kN, fn);
+  pool.for_weighted(kN, nullptr, fn);
   for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
 }
 
-TEST(ThreadPool, ForIndexedPropagatesExceptionsAndStaysUsable) {
+TEST(ThreadPool, ForWeightedPropagatesExceptionsAndStaysUsable) {
   ThreadPool pool(3);
   const auto boom = [](std::size_t i) {
     if (i == 13) throw std::runtime_error("boom");
   };
-  EXPECT_THROW(pool.for_indexed(64, boom), std::runtime_error);
+  EXPECT_THROW(pool.for_weighted(64, nullptr, boom), std::runtime_error);
   std::atomic<std::size_t> sum{0};
   const auto add = [&](std::size_t i) { sum.fetch_add(i); };
-  pool.for_indexed(100, add);
+  pool.for_weighted(100, nullptr, add);
   EXPECT_EQ(sum.load(), 4950u);
 }
 
-TEST(ThreadPool, ForIndexedBackToBackBatches) {
+TEST(ThreadPool, ForWeightedBackToBackBatches) {
   ThreadPool pool(4);
   std::atomic<int> total{0};
   const auto bump = [&](std::size_t) { total.fetch_add(1); };
-  for (int round = 0; round < 200; ++round) pool.for_indexed(5, bump);
+  for (int round = 0; round < 200; ++round) pool.for_weighted(5, nullptr, bump);
   EXPECT_EQ(total.load(), 1000);
 }
 

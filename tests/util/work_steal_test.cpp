@@ -120,7 +120,7 @@ TEST(WorkSteal, DequeStressManySmallBatches) {
     if (b % 2 == 0) {
       pool.for_weighted(kN, weights.data(), fn);
     } else {
-      pool.for_indexed(kN, fn);
+      pool.for_weighted(kN, nullptr, fn);
     }
   }
   EXPECT_EQ(total.load(), kBatches * (kN * (kN + 1) / 2));
@@ -155,7 +155,7 @@ TEST(WorkSteal, StealCounterIsMonotonic) {
   const std::uint64_t before = pool.steal_count();
   std::atomic<std::uint64_t> sink{0};
   const auto fn = [&](std::size_t i) { sink.fetch_add(i, std::memory_order_relaxed); };
-  for (int b = 0; b < 50; ++b) pool.for_indexed(256, fn);
+  for (int b = 0; b < 50; ++b) pool.for_weighted(256, nullptr, fn);
   EXPECT_GE(pool.steal_count(), before);
 }
 

@@ -1,8 +1,9 @@
 /// \file decycle_lab.cpp
 /// \brief Scenario-matrix lab runner CLI.
 ///
-/// Sweeps graph families × k × ε × sizes × adversaries × algorithms and
-/// emits one JSONL record per cell (meta record first). Output is
+/// Sweeps graph families × k × ε × sizes × adversaries × communication
+/// models × algorithms and emits one JSONL record per cell (meta record
+/// first). Output is
 /// byte-identical for any --threads value — nightly CI diffs it against a
 /// checked-in golden file (ci/golden/).
 ///
@@ -20,8 +21,8 @@
 ///   --progress     per-cell progress lines on stderr
 ///   --list         print the known graph families and exit
 ///   --list-algos   print every registered detector's name and capabilities
-///                  (k range, knobs) and exit — the authoritative list of
-///                  what algo= accepts
+///                  (k range, knobs, accepted models) and exit — the
+///                  authoritative list of what algo= and model= accept
 #include <fstream>
 #include <iostream>
 #include <memory>
