@@ -13,6 +13,7 @@
 
 #include "core/detector.hpp"
 #include "core/phase1.hpp"
+#include "engine/engine.hpp"
 #include "graph/far_generators.hpp"
 #include "harness/claims.hpp"
 #include "harness/estimator.hpp"
@@ -33,19 +34,22 @@ int main(int argc, char** argv) {
   util::ThreadPool& pool = util::global_pool();
 
   const core::Detector& tester = core::DetectorRegistry::builtin().require("tester");
+  // One engine for the whole bench: trials run as one query batch per
+  // instance (run_batch), lanes leasing cached Simulator sessions that the
+  // tester resets between trials — the CSR table and arenas are built once
+  // per lane, not once per trial. Seeds are the estimate_rate scheme, so
+  // rates match any thread count.
+  const engine::DetectionEngine eng{engine::EngineOptions{.pool = &pool}};
   const auto measure = [&](const graph::FarInstance& inst, unsigned k) {
     const double eps = inst.certified_epsilon();
     const std::size_t reps = core::recommended_repetitions(eps);
-    // Registry dispatch through detector_lanes: one Simulator per lane,
-    // reset between trials (Simulator::reset), so the CSR table and arenas
-    // are built once per lane, not once per trial. Seeds are the
-    // estimate_rate scheme, so rates match any thread count.
-    const graph::IdAssignment ids = graph::IdAssignment::identity(inst.graph.num_vertices());
+    graph::IdAssignment ids = graph::IdAssignment::identity(inst.graph.num_vertices());
+    const engine::PinnedGraphPtr pinned = engine::pin(inst.graph, std::move(ids));
     core::DetectorOptions base;
     base.k = k;
     base.epsilon = eps;
-    const auto estimate = harness::estimate_rate_lanes(
-        harness::detector_lanes(tester, inst.graph, ids, base), trials, 4242 + k, &pool);
+    const auto estimate =
+        harness::estimate_detector_rate(eng, pinned, tester, base, trials, 4242 + k);
 
     const bool holds = estimate.rate() >= 2.0 / 3.0;
     claims.check("detection >= 2/3 on " + inst.description, holds);

@@ -36,6 +36,7 @@ struct ModeResult {
   double seconds = 0.0;
   std::uint64_t allocations = 0;
   lab::CellResult cell;
+  engine::SessionStats sessions;  ///< the runner's engine cache counters
 };
 
 ModeResult run_mode(const lab::ScenarioCell& cell, bool reuse) {
@@ -48,6 +49,7 @@ ModeResult run_mode(const lab::ScenarioCell& cell, bool reuse) {
   out.cell = runner.run_cell(cell);
   out.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
   out.allocations = testsupport::allocation_count() - allocs_before;
+  out.sessions = runner.session_stats();
   return out;
 }
 
@@ -120,9 +122,12 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(reused.allocations), speedup, alloc_cut,
         i + 1 < std::size(scenarios) ? "," : "");
     doc += line;
-    std::printf("%-20s fresh %.3fs (%llu allocs)  reuse %.3fs (%llu allocs)  speedup %.2fx\n",
+    std::printf("%-20s fresh %.3fs (%llu allocs)  reuse %.3fs (%llu allocs)  speedup %.2fx  "
+                "sessions hit/miss %llu/%llu\n",
                 sc.name, fresh.seconds, static_cast<unsigned long long>(fresh.allocations),
-                reused.seconds, static_cast<unsigned long long>(reused.allocations), speedup);
+                reused.seconds, static_cast<unsigned long long>(reused.allocations), speedup,
+                static_cast<unsigned long long>(reused.sessions.hits),
+                static_cast<unsigned long long>(reused.sessions.misses));
   }
   doc += "  ]\n}\n";
 

@@ -1,0 +1,98 @@
+#include "engine/engine.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace decycle::engine {
+
+DetectionEngine::DetectionEngine(const EngineOptions& options)
+    : options_(options), sessions_(options.session_capacity) {}
+
+core::Verdict DetectionEngine::run_uncached(const graph::Graph& g, const graph::IdAssignment& ids,
+                                            const Query& q) {
+  DECYCLE_CHECK_MSG(q.detector != nullptr, "engine: query has no detector");
+  congest::Simulator sim(g, ids, *q.model);
+  return q.detector->run(sim, q.options);
+}
+
+core::Verdict DetectionEngine::run_leased(SessionPool::Lease& lease, const PinnedGraphPtr& graph,
+                                          const Query& q) const {
+  DECYCLE_CHECK_MSG(q.detector != nullptr, "engine: query has no detector");
+  const core::DetectorCapabilities& caps = q.detector->capabilities();
+  DECYCLE_CHECK_MSG(core::supports_model(caps, q.model->kind()),
+                    "engine: detector '" + std::string(q.detector->name()) +
+                        "' does not run under model '" + std::string(q.model->name()) + "'");
+  if (!options_.cache_sessions || !caps.simulator_reuse) {
+    // A detector that disclaims the reset-reuse contract must never see a
+    // second-hand simulator; with caching off, a fresh build per query is
+    // the measurement mode the lab's --reuse=0 axis asks for.
+    lease.release();
+    return run_uncached(graph->graph, graph->ids, q);
+  }
+  const SessionKey want{graph->hash, graph->epoch.load(std::memory_order_acquire),
+                        q.model->kind(), q.options.delivery};
+  if (!lease || !(lease.key() == want)) {
+    lease.release();
+    lease = sessions_.lease(graph, *q.model, q.options.delivery);
+  }
+  return q.detector->run(lease.sim(), q.options);
+}
+
+core::Verdict DetectionEngine::run_one(const PinnedGraphPtr& graph, const Query& q) const {
+  DECYCLE_CHECK_MSG(graph != nullptr, "engine: run_one needs a pinned graph");
+  SessionPool::Lease lease;
+  return run_leased(lease, graph, q);
+}
+
+std::vector<core::Verdict> DetectionEngine::run_batch(const PinnedGraphPtr& graph,
+                                                      std::span<const Query> queries) const {
+  DECYCLE_CHECK_MSG(graph != nullptr, "engine: run_batch needs a pinned graph");
+  std::vector<core::Verdict> out(queries.size());
+  if (queries.empty()) return out;
+
+  // Uniform batches skip the weighted partition entirely so they split via
+  // lane_range — the exact historical boundaries the goldens were cut with.
+  bool uniform = true;
+  std::vector<std::uint64_t> weights(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    weights[i] = queries[i].weight;
+    if (weights[i] != weights[0]) uniform = false;
+  }
+
+  for_lanes(options_.pool, queries.size(), uniform ? nullptr : weights.data(),
+            [&](std::size_t /*lane*/, std::size_t begin, std::size_t end) {
+              // One lease held per lane, re-leased only when the session key
+              // changes — within a homogeneous batch that is one lease for
+              // the whole lane.
+              SessionPool::Lease lease;
+              for (std::size_t i = begin; i < end; ++i) {
+                out[i] = run_leased(lease, graph, queries[i]);
+              }
+            });
+  return out;
+}
+
+std::vector<std::uint64_t> reduce_counters(const core::Detector& d,
+                                           std::span<const core::Verdict> verdicts) {
+  const std::span<const core::CounterDef> defs = d.counters();
+  std::vector<std::uint64_t> out(defs.size(), 0);
+  for (const core::Verdict& v : verdicts) {
+    DECYCLE_CHECK_MSG(v.counters.size() == defs.size(),
+                      "engine: verdict counter table does not match detector '" +
+                          std::string(d.name()) + "'");
+    for (std::size_t c = 0; c < defs.size(); ++c) {
+      out[c] = defs[c].kind == core::CounterKind::kSum ? out[c] + v.counters[c]
+                                                       : std::max(out[c], v.counters[c]);
+    }
+  }
+  return out;
+}
+
+DetectionEngine& shared_engine() {
+  static DetectionEngine engine{EngineOptions{}};
+  return engine;
+}
+
+}  // namespace decycle::engine

@@ -1,13 +1,13 @@
 #include "harness/estimator.hpp"
 
-#include <algorithm>
 #include <atomic>
 #include <memory>
 #include <utility>
 #include <vector>
 
-#include "congest/simulator.hpp"
-#include "util/rng.hpp"
+#include "congest/comm_model.hpp"
+#include "engine/graph_store.hpp"
+#include "engine/session_pool.hpp"
 
 namespace decycle::harness {
 
@@ -33,30 +33,21 @@ RateEstimate estimate_rate_lanes(const LaneFactory& make_lane, std::size_t trial
                                  std::uint64_t base_seed, util::ThreadPool* pool) {
   if (trials == 0) {
     // Nothing to run: in particular make_lane is never invoked, so callers
-    // don't pay for per-lane state (a Simulator build) they won't use.
+    // don't pay for per-lane state (a session lease) they won't use.
     RateEstimate empty;
     empty.interval = util::wilson_interval(0, 0);
     return empty;
   }
-  const std::size_t lanes = lane_count(pool, trials);
   // Per-trial outcomes are stored by index and reduced serially, so the
   // estimate cannot depend on lane boundaries or scheduling.
   std::vector<std::uint8_t> outcome(trials, 0);
-  const auto run_lane = [&](std::size_t lane) {
-    const TrialFn trial = make_lane(lane);
-    const auto [begin, end] = lane_range(trials, lane, lanes);
-    for (std::size_t i = begin; i < end; ++i) {
-      outcome[i] = trial(i, trial_seed(base_seed, i)) ? 1 : 0;
-    }
-  };
-  // lane_count never reports more than one lane without a pool, but the
-  // dispatch below re-checks the pointer so a future lane policy can't
-  // turn a serial call into a null deref.
-  if (pool != nullptr && lanes > 1) {
-    pool->for_weighted(lanes, nullptr, run_lane);
-  } else {
-    run_lane(0);
-  }
+  engine::for_lanes(pool, trials, nullptr,
+                    [&](std::size_t lane, std::size_t begin, std::size_t end) {
+                      const TrialFn trial = make_lane(lane);
+                      for (std::size_t i = begin; i < end; ++i) {
+                        outcome[i] = trial(i, trial_seed(base_seed, i)) ? 1 : 0;
+                      }
+                    });
   RateEstimate out;
   out.trials = trials;
   for (const std::uint8_t ok : outcome) out.successes += ok;
@@ -66,16 +57,46 @@ RateEstimate estimate_rate_lanes(const LaneFactory& make_lane, std::size_t trial
 
 LaneFactory detector_lanes(const core::Detector& detector, const graph::Graph& g,
                            const graph::IdAssignment& ids, core::DetectorOptions base) {
-  return [&detector, &g, &ids, base = std::move(base)](std::size_t) -> TrialFn {
-    // One topology-only Simulator per lane; shared_ptr keeps it alive for
-    // the copyable std::function wrapper.
-    auto sim = std::make_shared<congest::Simulator>(g, ids);
-    return [&detector, base, sim](std::size_t, std::uint64_t seed) {
+  // Pin once per factory (one O(n + m) hash sweep); every lane leases a
+  // session for the pin from the shared engine, so a later estimate on the
+  // same topology content starts warm.
+  engine::PinnedGraphPtr pinned = engine::pin(g, ids);
+  return [&detector, base = std::move(base),
+          pinned = std::move(pinned)](std::size_t) -> TrialFn {
+    auto& eng = engine::shared_engine();
+    const congest::CommModel& model = core::default_comm_model(detector.capabilities());
+    // shared_ptr keeps the move-only lease alive inside the copyable
+    // std::function wrapper; release on lane teardown returns the session
+    // to the cache.
+    auto lease = std::make_shared<engine::SessionPool::Lease>(
+        eng.sessions().lease(pinned, model, base.delivery));
+    return [&detector, base, lease, pinned](std::size_t, std::uint64_t seed) {
       core::DetectorOptions options = base;
       options.seed = seed;
-      return !detector.run(*sim, options).accepted;
+      return !detector.run(lease->sim(), options).accepted;
     };
   };
+}
+
+RateEstimate estimate_detector_rate(const engine::DetectionEngine& eng,
+                                    const engine::PinnedGraphPtr& graph,
+                                    const core::Detector& detector,
+                                    const core::DetectorOptions& base, std::size_t trials,
+                                    std::uint64_t base_seed) {
+  const congest::CommModel& model = core::default_comm_model(detector.capabilities());
+  std::vector<engine::Query> queries(trials);
+  for (std::size_t i = 0; i < trials; ++i) {
+    queries[i].detector = &detector;
+    queries[i].options = base;
+    queries[i].options.seed = trial_seed(base_seed, i);
+    queries[i].model = &model;
+  }
+  const std::vector<core::Verdict> verdicts = eng.run_batch(graph, queries);
+  RateEstimate out;
+  out.trials = trials;
+  for (const core::Verdict& v : verdicts) out.successes += v.accepted ? 0 : 1;
+  out.interval = util::wilson_interval(out.successes, out.trials);
+  return out;
 }
 
 }  // namespace decycle::harness

@@ -6,43 +6,33 @@
 /// gets its own seed derived from (base_seed, trial index), so the estimate
 /// is identical for any thread count. Wilson intervals quantify the
 /// uncertainty so benches can assert "detection >= 2/3" honestly.
+///
+/// Since the engine refactor (DESIGN.md §12) the lane plumbing lives in
+/// engine/lanes.hpp and the detector-driving paths execute through the
+/// shared DetectionEngine; the harness names below are thin veneers kept so
+/// every historical call site (and the seed-stability goldens) read
+/// unchanged.
 #pragma once
 
-#include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <utility>
 
 #include "core/detector.hpp"
+#include "engine/engine.hpp"
+#include "engine/lanes.hpp"
 #include "graph/graph.hpp"
 #include "graph/ids.hpp"
-#include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
 
 namespace decycle::harness {
 
-/// Trial \p trial's seed. The single definition shared by estimate_rate,
-/// estimate_rate_lanes, and the lab runner — their estimates are
-/// bit-compatible because they all derive seeds here.
-[[nodiscard]] constexpr std::uint64_t trial_seed(std::uint64_t base_seed,
-                                                 std::size_t trial) noexcept {
-  return util::splitmix64(base_seed ^ util::splitmix64(trial + 1));
-}
-
-/// Lane \p lane's contiguous [begin, end) block of \p total trials.
-[[nodiscard]] constexpr std::pair<std::size_t, std::size_t> lane_range(
-    std::size_t total, std::size_t lane, std::size_t lanes) noexcept {
-  return {total * lane / lanes, total * (lane + 1) / lanes};
-}
-
-/// How many lanes \p trials split into on \p pool: one per worker, never
-/// more than trials, 1 without a pool.
-[[nodiscard]] inline std::size_t lane_count(const util::ThreadPool* pool,
-                                            std::size_t trials) noexcept {
-  if (pool == nullptr) return 1;
-  return std::max<std::size_t>(1, std::min(pool->size(), trials));
-}
+/// Seed/lane primitives — the single definitions, re-exported from the
+/// engine so pre-refactor call sites (and pinned golden seed values) keep
+/// compiling against harness::.
+using engine::lane_count;
+using engine::lane_range;
+using engine::trial_seed;
 
 struct RateEstimate {
   std::uint64_t trials = 0;
@@ -63,30 +53,43 @@ using TrialFn = std::function<bool(std::size_t, std::uint64_t)>;
 
 /// Builds the trial functor for one execution lane. A lane is a contiguous
 /// block of trial indices run serially on one worker; the functor owns
-/// whatever expensive per-lane state the trials share — typically a
-/// congest::Simulator reset between trials instead of rebuilt
-/// (Simulator::reset), which is the hot-path win for estimator-heavy
-/// workloads like T2 completeness sweeps.
+/// whatever expensive per-lane state the trials share — typically a leased
+/// engine session whose Simulator resets between trials instead of being
+/// rebuilt, which is the hot-path win for estimator-heavy workloads like T2
+/// completeness sweeps.
 using LaneFactory = std::function<TrialFn(std::size_t lane)>;
 
 /// Like estimate_rate, but trials are partitioned into one lane per worker
-/// so per-lane state amortizes across the lane's trials. The trial seed
-/// derivation is identical to estimate_rate's — the estimate is
-/// bit-identical for any thread count, any lane count, and to the unlaned
-/// overload itself.
+/// (engine::for_lanes) so per-lane state amortizes across the lane's
+/// trials. The trial seed derivation is identical to estimate_rate's — the
+/// estimate is bit-identical for any thread count, any lane count, and to
+/// the unlaned overload itself.
 [[nodiscard]] RateEstimate estimate_rate_lanes(const LaneFactory& make_lane, std::size_t trials,
                                                std::uint64_t base_seed,
                                                util::ThreadPool* pool = nullptr);
 
 /// Lane factory running any registry detector on one fixed topology: each
-/// lane owns a Simulator for (g, ids) that the detector resets between
-/// trials (the reuse contract), a trial's "success" is rejection, and the
-/// per-trial seed overwrites \p base options' seed. This is the single way
-/// rate-estimation benches drive detection algorithms — swap the detector,
-/// not the plumbing. \p detector, \p g, and \p ids must outlive the
-/// returned factory and every TrialFn it builds.
+/// lane leases a session for (g, ids) from the process-wide
+/// engine::shared_engine() — a cache hit when the same topology was
+/// estimated before — and the detector resets it between trials (the reuse
+/// contract). A trial's "success" is rejection; the per-trial seed
+/// overwrites \p base options' seed. This is the single way rate-estimation
+/// benches drive detection algorithms — swap the detector, not the
+/// plumbing. \p detector, \p g, and \p ids must outlive the returned
+/// factory and every TrialFn it builds.
 [[nodiscard]] LaneFactory detector_lanes(const core::Detector& detector, const graph::Graph& g,
                                          const graph::IdAssignment& ids,
                                          core::DetectorOptions base);
+
+/// The run_batch-native estimator: builds one engine::Query per trial
+/// (seed = trial_seed(base_seed, i), model = the detector's default), runs
+/// the batch through \p eng — leased sessions, cost-uniform lanes on eng's
+/// pool — and folds rejections into a Wilson estimate. Bit-identical to
+/// estimate_rate_lanes(detector_lanes(...)) on the same inputs.
+[[nodiscard]] RateEstimate estimate_detector_rate(const engine::DetectionEngine& eng,
+                                                  const engine::PinnedGraphPtr& graph,
+                                                  const core::Detector& detector,
+                                                  const core::DetectorOptions& base,
+                                                  std::size_t trials, std::uint64_t base_seed);
 
 }  // namespace decycle::harness

@@ -2,12 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
-#include <optional>
 #include <ostream>
+#include <utility>
 
 #include "core/detector.hpp"
+#include "engine/graph_store.hpp"
+#include "engine/lanes.hpp"
 #include "graph/ids.hpp"
-#include "harness/estimator.hpp"
 #include "lab/json.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
@@ -43,27 +44,32 @@ struct TrialOutcome {
   std::vector<std::uint64_t> counters;     ///< aligned with the detector's table
 };
 
-/// Registry dispatch: every algorithm — core testers and baselines alike —
-/// runs through the same Detector::run call; no per-algorithm branches.
-TrialOutcome run_trial(const ScenarioCell& cell, const BuiltTopology& topo,
-                       congest::Simulator& sim, std::uint64_t trial_seed) {
+/// The fully resolved engine query for one trial — registry dispatch:
+/// every algorithm, core testers and baselines alike, travels through the
+/// same Detector::run call; no per-algorithm branches.
+engine::Query trial_query(const ScenarioCell& cell, std::uint64_t trial_seed) {
+  engine::Query q;
+  q.detector = cell.algo;
+  q.model = cell.model;
+  q.options.k = cell.k;
+  q.options.epsilon = cell.epsilon;
+  q.options.seed = trial_seed;
+  q.options.repetitions = cell.repetitions;
+  q.options.budget = cell.budget;
+  q.options.max_tracked = cell.track;
+  q.options.drop = make_drop_filter(cell.adversary, util::splitmix64(trial_seed ^ kDropTag));
+  q.options.delivery = cell.delivery;
+  return q;
+}
+
+/// Folds one verdict plus its instance facts into the per-trial slot.
+TrialOutcome trial_outcome(const ScenarioCell& cell, GroundTruth truth, double certified_epsilon,
+                           std::uint64_t vertices, std::uint64_t edges, core::Verdict verdict) {
   TrialOutcome out;
-  out.truth = topo.truth;
-  out.certified_epsilon = topo.certified_epsilon;
-  out.vertices = topo.graph.num_vertices();
-  out.edges = topo.graph.num_edges();
-
-  core::DetectorOptions opt;
-  opt.k = cell.k;
-  opt.epsilon = cell.epsilon;
-  opt.seed = trial_seed;
-  opt.repetitions = cell.repetitions;
-  opt.budget = cell.budget;
-  opt.max_tracked = cell.track;
-  opt.drop = make_drop_filter(cell.adversary, util::splitmix64(trial_seed ^ kDropTag));
-  opt.delivery = cell.delivery;
-
-  core::Verdict verdict = cell.algo->run(sim, opt);
+  out.truth = truth;
+  out.certified_epsilon = certified_epsilon;
+  out.vertices = vertices;
+  out.edges = edges;
   out.rejected = !verdict.accepted;
   out.overflow = verdict.overflow;
   out.truncated = verdict.truncated;
@@ -94,54 +100,53 @@ CellResult LabRunner::run_cell(const ScenarioCell& cell) const {
   res.cell = cell;
   res.trials = cell.trials;
 
-  // Shared-graph policy: one topology per cell, built before the lanes so
-  // every lane sees the same instance.
-  std::optional<BuiltTopology> shared;
-  std::optional<graph::IdAssignment> shared_ids;
-  if (cell.seed_mode == SeedMode::kSharedGraph) {
-    util::Rng grng(util::splitmix64(cseed ^ kGraphTag));
-    shared.emplace(build_topology(cell, grng));
-    shared_ids.emplace(graph::IdAssignment::identity(shared->graph.num_vertices()));
-    res.description = shared->description;
-    res.certified_epsilon = shared->certified_epsilon;
-  } else {
-    res.description = cell.family;
-  }
-
-  // Lanes: contiguous trial ranges, one Simulator per lane (reset between
-  // trials). Outcomes land in a per-trial slot, so nothing downstream can
-  // observe the lane boundaries.
+  // Per-trial outcomes land in an indexed slot, so nothing downstream can
+  // observe lane boundaries or scheduling.
   std::vector<TrialOutcome> outcomes(cell.trials);
-  util::ThreadPool* pool = options_.pool;
-  const std::size_t lanes = harness::lane_count(pool, cell.trials);
-  const bool reuse = options_.reuse_simulators;
-  const auto run_lane = [&](std::size_t lane) {
-    std::optional<congest::Simulator> lane_sim;
-    if (shared && reuse) lane_sim.emplace(shared->graph, *shared_ids, *cell.model);
-    const auto [begin, end] = harness::lane_range(cell.trials, lane, lanes);
-    for (std::size_t i = begin; i < end; ++i) {
-      const std::uint64_t tseed = harness::trial_seed(cseed, i);
-      if (shared) {
-        if (lane_sim) {
-          outcomes[i] = run_trial(cell, *shared, *lane_sim, tseed);
-        } else {
-          congest::Simulator fresh(shared->graph, *shared_ids, *cell.model);
-          outcomes[i] = run_trial(cell, *shared, fresh, tseed);
-        }
-      } else {
-        util::Rng grng(util::splitmix64(tseed ^ kGraphTag));
-        const BuiltTopology topo = build_topology(cell, grng);
-        const graph::IdAssignment ids =
-            graph::IdAssignment::identity(topo.graph.num_vertices());
-        congest::Simulator fresh(topo.graph, ids, *cell.model);
-        outcomes[i] = run_trial(cell, topo, fresh, tseed);
-      }
+
+  if (cell.seed_mode == SeedMode::kSharedGraph) {
+    // Shared-graph policy: one topology per cell, pinned under its content
+    // hash and submitted as one engine batch — sibling cells on the same
+    // topology content (different algo/adversary) hit the session cache.
+    util::Rng grng(util::splitmix64(cseed ^ kGraphTag));
+    BuiltTopology shared = build_topology(cell, grng);
+    res.description = shared.description;
+    res.certified_epsilon = shared.certified_epsilon;
+    const GroundTruth truth = shared.truth;
+    const double cert = shared.certified_epsilon;
+    graph::IdAssignment ids = graph::IdAssignment::identity(shared.graph.num_vertices());
+    const engine::PinnedGraphPtr pinned = engine::pin(std::move(shared.graph), std::move(ids));
+    const std::uint64_t vertices = pinned->graph.num_vertices();
+    const std::uint64_t edges = pinned->graph.num_edges();
+
+    std::vector<engine::Query> queries(cell.trials);
+    for (std::size_t i = 0; i < cell.trials; ++i) {
+      queries[i] = trial_query(cell, engine::trial_seed(cseed, i));
     }
-  };
-  if (lanes > 1) {
-    pool->for_weighted(lanes, nullptr, run_lane);
+    std::vector<core::Verdict> verdicts = engine_->run_batch(pinned, queries);
+    for (std::size_t i = 0; i < cell.trials; ++i) {
+      outcomes[i] = trial_outcome(cell, truth, cert, vertices, edges, std::move(verdicts[i]));
+    }
   } else {
-    run_lane(0);
+    // Fresh-graph policy: every trial draws its own topology from the trial
+    // seed, so sessions cannot be shared — each query runs on an uncached
+    // engine build, lanes via the same for_lanes dispatch as the batch path.
+    res.description = cell.family;
+    engine::for_lanes(options_.pool, cell.trials, nullptr,
+                      [&](std::size_t /*lane*/, std::size_t begin, std::size_t end) {
+                        for (std::size_t i = begin; i < end; ++i) {
+                          const std::uint64_t tseed = engine::trial_seed(cseed, i);
+                          util::Rng trng(util::splitmix64(tseed ^ kGraphTag));
+                          const BuiltTopology topo = build_topology(cell, trng);
+                          const graph::IdAssignment ids =
+                              graph::IdAssignment::identity(topo.graph.num_vertices());
+                          core::Verdict verdict = engine::DetectionEngine::run_uncached(
+                              topo.graph, ids, trial_query(cell, tseed));
+                          outcomes[i] = trial_outcome(cell, topo.truth, topo.certified_epsilon,
+                                                      topo.graph.num_vertices(),
+                                                      topo.graph.num_edges(), std::move(verdict));
+                        }
+                      });
   }
 
   // Serial reduction in trial order (sums are integers except the
@@ -179,7 +184,9 @@ CellResult LabRunner::run_cell(const ScenarioCell& cell) const {
   // the cell as well.
   res.truth = outcomes.front().truth;
   res.repetitions = outcomes.front().repetitions;
-  if (!shared) res.certified_epsilon = cert_sum / static_cast<double>(cell.trials);
+  if (cell.seed_mode != SeedMode::kSharedGraph) {
+    res.certified_epsilon = cert_sum / static_cast<double>(cell.trials);
+  }
   res.reject_interval = util::wilson_interval(res.rejections, res.trials);
   res.soundness_violation = res.truth == GroundTruth::kCkFree && res.rejections > 0;
   res.elapsed_seconds =

@@ -1,10 +1,12 @@
 /// \file runner.hpp
 /// \brief Batched execution runtime for scenario matrices.
 ///
-/// The runner executes every cell of an expanded matrix: trials are
-/// partitioned into contiguous lanes across the shared ThreadPool, each
-/// lane owns one Simulator that is reset() between trials instead of
-/// rebuilt (the estimator-workload hot path — see DESIGN.md §6), and every
+/// The runner executes every cell of an expanded matrix by submitting one
+/// engine::Query per trial to its DetectionEngine (DESIGN.md §12): trials
+/// are partitioned into contiguous lanes across the shared ThreadPool, each
+/// lane leases one cached Simulator session that is reset() between trials
+/// instead of rebuilt (the estimator-workload hot path — see DESIGN.md §6,
+/// and a cache hit across cells that share topology content), and every
 /// trial's seed is derived from the cell's content key and the trial index
 /// alone. Per-trial outcomes are stored by index and reduced serially, so a
 /// matrix produces byte-identical JSON for any thread count — the property
@@ -13,11 +15,13 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "engine/engine.hpp"
 #include "lab/scenario.hpp"
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
@@ -92,10 +96,13 @@ struct CellResult {
 
 class LabRunner {
  public:
-  explicit LabRunner(const LabOptions& options = {}) : options_(options) {}
+  explicit LabRunner(const LabOptions& options = {})
+      : options_(options),
+        engine_(std::make_unique<engine::DetectionEngine>(engine::EngineOptions{
+            options.pool, engine::SessionPool::kDefaultCapacity, options.reuse_simulators})) {}
 
-  /// Runs one cell's trials (lanes across the pool, Simulator reuse within
-  /// a lane).
+  /// Runs one cell's trials: one engine query per trial, lanes across the
+  /// pool, leased-session Simulator reuse within a lane.
   [[nodiscard]] CellResult run_cell(const ScenarioCell& cell) const;
 
   /// Runs every cell in order.
@@ -103,8 +110,16 @@ class LabRunner {
 
   [[nodiscard]] const LabOptions& options() const noexcept { return options_; }
 
+  /// The runner's engine (session cache introspection; tests/benches).
+  [[nodiscard]] const engine::DetectionEngine& engine() const noexcept { return *engine_; }
+
+  /// Session-cache counters accumulated across every cell this runner ran —
+  /// what `decycle_lab --engine-stats` prints.
+  [[nodiscard]] engine::SessionStats session_stats() const { return engine_->session_stats(); }
+
  private:
   LabOptions options_;
+  std::unique_ptr<engine::DetectionEngine> engine_;
 };
 
 /// The leading JSONL meta record for a matrix run (no trailing newline).

@@ -5,6 +5,7 @@
 #include <numeric>
 #include <set>
 
+#include "engine/lanes.hpp"
 #include "graph/far_generators.hpp"
 #include "graph/generators.hpp"
 #include "lab/json.hpp"
@@ -446,10 +447,10 @@ std::string ScenarioCell::key() const {
 }
 
 std::uint64_t ScenarioCell::cell_seed() const {
-  const std::string id = key();
-  std::uint64_t h = util::splitmix64(base_seed ^ 0x6c61625f63656c6cULL);  // "lab_cell"
-  for (const char c : id) h = util::splitmix64(h ^ static_cast<unsigned char>(c));
-  return h;
+  // Content-addressed over the canonical key via the engine's shared fold
+  // (engine/lanes.hpp) — pinned by tests/lab/seed_stability_test.cpp.
+  return engine::fold_seed(util::splitmix64(base_seed ^ 0x6c61625f63656c6cULL),  // "lab_cell"
+                           key());
 }
 
 ScenarioSpec ScenarioSpec::parse(std::span<const std::pair<std::string, std::string>> pairs) {

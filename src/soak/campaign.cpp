@@ -7,7 +7,7 @@
 #include <ostream>
 #include <utility>
 
-#include "harness/estimator.hpp"
+#include "engine/lanes.hpp"
 #include "lab/json.hpp"
 #include "util/check.hpp"
 #include "util/stats.hpp"
@@ -183,10 +183,10 @@ CampaignSummary run_campaign(const CampaignOptions& options) {
     if (count == 0) break;
 
     // Parallel phase: draw + differential + record, into indexed slots.
+    // Lanes come from the engine's shared dispatch (engine/lanes.hpp) — the
+    // same contiguous partition the lab runner and the harness use.
     outcomes.assign(count, InstanceOutcome{});
-    const std::size_t lanes = harness::lane_count(pool, count);
-    const auto run_lane = [&](std::size_t lane) {
-      const auto [begin, end] = harness::lane_range(count, lane, lanes);
+    const auto run_lane = [&](std::size_t /*lane*/, std::size_t begin, std::size_t end) {
       for (std::size_t i = begin; i < end; ++i) {
         InstanceOutcome& o = outcomes[i];
         o.instance = options.space.draw(options.seed, next + i);
@@ -211,11 +211,7 @@ CampaignSummary run_campaign(const CampaignOptions& options) {
         o.record = instance_record(o);
       }
     };
-    if (lanes > 1) {
-      pool->for_weighted(lanes, nullptr, run_lane);
-    } else {
-      run_lane(0);
-    }
+    engine::for_lanes(pool, count, nullptr, run_lane);
 
     // Serial reduction in index order: tallies, log lines, and shrinking.
     for (InstanceOutcome& o : outcomes) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "engine/lanes.hpp"
 #include "graph/far_generators.hpp"
 #include "graph/generators.hpp"
 #include "lab/json.hpp"
@@ -186,9 +187,7 @@ std::uint64_t SoakSpace::instance_seed(std::uint64_t campaign_seed, std::uint64_
   // values — changing this fold shifts every campaign and nightly repro.
   const std::string id =
       "soak/v1 seed=" + std::to_string(campaign_seed) + " instance=" + std::to_string(index);
-  std::uint64_t h = util::splitmix64(kInstanceTag);
-  for (const char c : id) h = util::splitmix64(h ^ static_cast<unsigned char>(c));
-  return h;
+  return engine::fold_seed(util::splitmix64(kInstanceTag), id);
 }
 
 SoakInstance SoakSpace::draw(std::uint64_t campaign_seed, std::uint64_t index) const {

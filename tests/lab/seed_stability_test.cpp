@@ -14,8 +14,13 @@
 /// ci/golden/nightly_matrix.jsonl, expect every existing soak repro file and
 /// campaign log to be invalidated, and update the pinned constants in the
 /// same commit.
+///
+/// Since the engine refactor the derivations live in engine/lanes.hpp
+/// (trial_seed, fold_seed) and harness:: re-exports them — this test pins
+/// both spellings so neither the definitions nor the aliases can drift.
 #include <gtest/gtest.h>
 
+#include "engine/lanes.hpp"
 #include "harness/estimator.hpp"
 #include "lab/scenario.hpp"
 #include "soak/space.hpp"
@@ -48,10 +53,23 @@ TEST(SeedStability, LabCellSeedsArePinned) {
 }
 
 TEST(SeedStability, TrialSeedsArePinned) {
-  // Shared by estimate_rate, estimate_rate_lanes, and the lab runner — the
-  // reason their estimates are bit-compatible.
-  EXPECT_EQ(harness::trial_seed(1, 0), 0xe9fd6049d65af21eULL);
-  EXPECT_EQ(harness::trial_seed(0xDEADBEEFULL, 41), 0x89c396a89a1c5738ULL);
+  // Shared by estimate_rate, estimate_rate_lanes, engine batches, and the
+  // lab runner — the reason their estimates are bit-compatible.
+  EXPECT_EQ(engine::trial_seed(1, 0), 0xe9fd6049d65af21eULL);
+  EXPECT_EQ(engine::trial_seed(0xDEADBEEFULL, 41), 0x89c396a89a1c5738ULL);
+  // The harness spelling must stay the same function, not a reimplementation.
+  constexpr std::uint64_t (*harness_fn)(std::uint64_t, std::size_t) = &harness::trial_seed;
+  constexpr std::uint64_t (*engine_fn)(std::uint64_t, std::size_t) = &engine::trial_seed;
+  static_assert(harness_fn == engine_fn);
+}
+
+TEST(SeedStability, FoldSeedIsPinned) {
+  // The one byte-fold both cell_seed and instance_seed go through. Pinned
+  // directly so a refactor of either caller can't quietly change the fold.
+  EXPECT_EQ(engine::fold_seed(0, ""), 0u);
+  EXPECT_EQ(engine::fold_seed(util::splitmix64(1 ^ 0x6c61625f63656c6cULL),
+                              "family=planted k=5 eps=0.1 n=64 adversary=none algo=tester"),
+            0x1ecba27137162d62ULL);
 }
 
 TEST(SeedStability, SoakInstanceSeedsArePinned) {

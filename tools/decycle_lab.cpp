@@ -19,6 +19,9 @@
 ///   --reuse=0|1    Simulator reuse across trials (default 1)
 ///   --timing=0|1   add wall-clock fields (breaks golden diffs; default 0)
 ///   --progress     per-cell progress lines on stderr
+///   --engine-stats print the engine's session-cache counters (hits,
+///                  misses, evictions) on stderr after the run — stderr so
+///                  the JSONL golden contract on stdout is untouched
 ///   --list         print the known graph families and exit
 ///   --list-algos   print every registered detector's name and capabilities
 ///                  (k range, knobs, accepted models) and exit — the
@@ -57,6 +60,7 @@ int main(int argc, char** argv) {
     const bool reuse = args.get_bool("reuse", true);
     const bool timing = args.get_bool("timing", false);
     const bool progress = args.get_bool("progress", false);
+    const bool engine_stats = args.get_bool("engine-stats", false);
 
     // Everything not consumed above is a scenario token; unknown-key errors
     // belong to the scenario parser, which names the accepted keys.
@@ -76,6 +80,11 @@ int main(int argc, char** argv) {
     const lab::LabRunner runner(opts);
     const std::vector<lab::CellResult> results = runner.run_matrix(cells);
     const std::string doc = lab::matrix_jsonl(spec, results, timing);
+    if (engine_stats) {
+      const engine::SessionStats s = runner.session_stats();
+      std::cerr << "[engine] sessions: hits=" << s.hits << " misses=" << s.misses
+                << " evictions=" << s.evictions << "\n";
+    }
 
     if (out_path.empty()) {
       std::cout << doc;
