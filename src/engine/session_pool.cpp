@@ -95,12 +95,13 @@ void SessionPool::purge(std::uint64_t graph_hash) {
   std::vector<std::unique_ptr<Session>> purged;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.purges;
     for (auto it = idle_.begin(); it != idle_.end();) {
       if (it->first.graph_hash == graph_hash) {
         for (auto& session : it->second) {
           purged.push_back(std::move(session));
           --idle_total_;
-          ++stats_.evictions;
+          ++stats_.purged_sessions;
         }
         it = idle_.erase(it);
       } else {

@@ -51,9 +51,11 @@ struct SessionKey {
 /// Cumulative cache counters (monotonic; read via SessionPool::stats and
 /// surfaced by `decycle_lab --engine-stats`).
 struct SessionStats {
-  std::uint64_t hits = 0;        ///< lease served from the idle cache
-  std::uint64_t misses = 0;      ///< lease had to build a Simulator
-  std::uint64_t evictions = 0;   ///< idle sessions destroyed past capacity
+  std::uint64_t hits = 0;       ///< lease served from the idle cache
+  std::uint64_t misses = 0;     ///< lease had to build a Simulator
+  std::uint64_t evictions = 0;  ///< idle sessions destroyed past capacity
+  std::uint64_t purges = 0;     ///< purge() calls (mutation-driven retirements)
+  std::uint64_t purged_sessions = 0;  ///< idle sessions destroyed by purge()
 };
 
 class SessionPool {
@@ -126,7 +128,9 @@ class SessionPool {
                             congest::DeliveryMode delivery = congest::DeliveryMode::kArena);
 
   /// Drops every idle session of \p graph_hash (any epoch, model, delivery).
-  /// Counted as evictions. Leased sessions are unaffected — they die on
+  /// Counted as purges/purged_sessions (distinct from capacity evictions, so
+  /// mutation-driven retirement is visible in stats on its own — see
+  /// `decycle_lab --engine-stats`). Leased sessions are unaffected — they die on
   /// release instead of rejoining the cache only if past capacity, exactly
   /// like any other release.
   void purge(std::uint64_t graph_hash);

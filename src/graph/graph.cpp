@@ -1,6 +1,7 @@
 #include "graph/graph.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "graph/sparse_bitset.hpp"
 #include "util/check.hpp"
@@ -72,14 +73,24 @@ Graph Graph::from_ordered_edges(Vertex n, std::vector<Edge> edges, AdjacencyMode
   // lexicographic increase subsumes dedup.
   g.offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
   Edge prev{0, 0};
-  bool first = true;
-  for (const auto& [a, b] : edges) {
-    DECYCLE_CHECK_MSG(a < b, "from_ordered_edges: edges must be canonical (u < v)");
-    DECYCLE_CHECK_MSG(b < n, "edge endpoint out of range");
-    DECYCLE_CHECK_MSG(first || (Edge{a, b} > prev),
-                      "from_ordered_edges: edges must strictly increase lexicographically");
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const auto [a, b] = edges[i];
+    // Each message names the offending edge index so a caller staring at a
+    // million-edge stream knows where to look. The strings are built only on
+    // failure (DECYCLE_CHECK_MSG evaluates msg in the failing branch).
+    DECYCLE_CHECK_MSG(a < b, "from_ordered_edges: edge " + std::to_string(i) + " (" +
+                                 std::to_string(a) + "," + std::to_string(b) +
+                                 ") must be canonical (u < v)");
+    DECYCLE_CHECK_MSG(b < n, "from_ordered_edges: edge " + std::to_string(i) + " (" +
+                                 std::to_string(a) + "," + std::to_string(b) +
+                                 ") endpoint out of range (n=" + std::to_string(n) + ")");
+    DECYCLE_CHECK_MSG(i == 0 || (Edge{a, b} > prev),
+                      "from_ordered_edges: edge " + std::to_string(i) + " (" +
+                          std::to_string(a) + "," + std::to_string(b) +
+                          ") must strictly increase lexicographically (duplicate or unsorted; "
+                          "previous (" +
+                          std::to_string(prev.first) + "," + std::to_string(prev.second) + "))");
     prev = {a, b};
-    first = false;
     ++g.offsets_[a + 1];
     ++g.offsets_[b + 1];
   }

@@ -1,0 +1,225 @@
+#include "incremental/differential.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/threshold/budget.hpp"
+#include "engine/engine.hpp"
+#include "engine/lanes.hpp"
+#include "graph/subgraph.hpp"
+#include "incremental/incremental.hpp"
+#include "incremental/session.hpp"
+#include "util/check.hpp"
+
+namespace decycle::incremental {
+
+namespace {
+
+/// BFS over an explicit adjacency list: is \p to reachable from \p from?
+/// The independent connectivity oracle — deliberately not union-find.
+bool reachable(const std::vector<std::vector<graph::Vertex>>& adj, graph::Vertex from,
+               graph::Vertex to, std::vector<std::uint32_t>& mark, std::uint32_t round) {
+  if (from == to) return true;
+  std::deque<graph::Vertex> queue{from};
+  mark[from] = round;
+  while (!queue.empty()) {
+    const graph::Vertex w = queue.front();
+    queue.pop_front();
+    for (const graph::Vertex x : adj[w]) {
+      if (mark[x] == round) continue;
+      if (x == to) return true;
+      mark[x] = round;
+      queue.push_back(x);
+    }
+  }
+  return false;
+}
+
+std::string joined(std::span<const graph::Vertex> cycle) {
+  std::string out;
+  for (const graph::Vertex v : cycle) {
+    if (!out.empty()) out += "-";
+    out += std::to_string(v);
+  }
+  return out;
+}
+
+}  // namespace
+
+PrefixCheckReport check_stream_prefixes(const InsertStream& stream,
+                                        const PrefixCheckOptions& options) {
+  PrefixCheckReport report;
+  const core::DetectorRegistry& registry =
+      options.registry != nullptr ? *options.registry : core::DetectorRegistry::builtin();
+  const std::size_t m = stream.inserts.size();
+  const std::size_t stride =
+      options.max_prefixes == 0 ? 1 : std::max<std::size_t>(1, m / options.max_prefixes);
+
+  auto mismatch = [&](std::size_t prefix, std::string detail) {
+    report.mismatches.push_back({prefix, std::move(detail)});
+  };
+
+  // Explicit prefix adjacency for the BFS oracle (arcs for directed
+  // streams, both directions for undirected ones).
+  std::vector<std::vector<graph::Vertex>> adj(stream.n);
+  std::vector<std::uint32_t> mark(stream.n, 0);
+  std::uint32_t round = 0;
+
+  if (stream.directed) {
+    DagLevels dag(stream.n);
+    for (std::size_t i = 0; i < m; ++i) {
+      const auto [u, v] = stream.inserts[i];
+      const bool check = i % stride == stride - 1 || i + 1 == m;
+      bool oracle_closed = false;
+      if (check) {
+        ++report.oracle_queries;
+        oracle_closed = reachable(adj, v, u, mark, ++round);
+      }
+      const InsertVerdict verdict = dag.insert(u, v);
+      adj[u].push_back(v);
+      if (!check && !verdict.closed_cycle) continue;
+      if (!check) {  // a closure on an unchecked prefix: check it anyway
+        ++report.oracle_queries;
+        oracle_closed = true;  // DagLevels never reports without a witness; verify it below
+      }
+      ++report.prefixes_checked;
+      if (check && verdict.closed_cycle != oracle_closed) {
+        mismatch(i, "directed closure verdict " + std::to_string(verdict.closed_cycle) +
+                        " but BFS oracle says " + std::to_string(oracle_closed));
+      }
+      if (verdict.closed_cycle) {
+        ++report.closures;
+        // Witness arcs must all exist: consecutive pairs plus the wrap.
+        const auto& w = verdict.witness;
+        bool valid = w.size() >= 2 && w[0] == u && w[1] == v;
+        for (std::size_t j = 0; valid && j < w.size(); ++j) {
+          const graph::Vertex a = w[j];
+          const graph::Vertex b = w[(j + 1) % w.size()];
+          valid = std::find(adj[a].begin(), adj[a].end(), b) != adj[a].end();
+        }
+        if (!valid) {
+          mismatch(i, "directed witness " + joined(w) + " is not an arc cycle through " +
+                          std::to_string(u) + "->" + std::to_string(v));
+        }
+        break;  // DagLevels' contract ends at the first cycle
+      }
+    }
+    return report;
+  }
+
+  // Undirected: witness-extracting detector + the engine bridge. The
+  // session re-runs the same inserts through its own union-find — its
+  // closure count must agree (internal consistency) — and its epoch/purge
+  // path is what every batch query below leases against.
+  engine::DetectionEngine engine;
+  IncrementalSession session(engine, "prefix-differential", stream.n);
+  ForestConnectivity fc(stream.n);
+  std::vector<graph::Edge> edges;
+  edges.reserve(m);
+
+  std::vector<const core::Detector*> detectors;
+  for (const std::string& name : options.detectors) {
+    detectors.push_back(&registry.require(name));
+  }
+
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto [u, v] = stream.inserts[i];
+    const bool strided = i % stride == stride - 1 || i + 1 == m;
+    bool oracle_closed = false;
+    if (strided) {
+      ++report.oracle_queries;
+      oracle_closed = reachable(adj, u, v, mark, ++round);
+    }
+    const InsertVerdict verdict = fc.insert(u, v);
+    const bool session_closed = session.insert(u, v);
+    adj[u].push_back(v);
+    adj[v].push_back(u);
+    edges.emplace_back(std::min(u, v), std::max(u, v));
+    if (session_closed != verdict.closed_cycle) {
+      mismatch(i, "session verdict disagrees with detector verdict");
+    }
+    const bool check = strided || verdict.closed_cycle;
+    if (!check) continue;
+    ++report.prefixes_checked;
+    if (!strided) {
+      // A closure on an unchecked prefix is still checked: probe pre-insert
+      // connectivity by dropping the just-appended edge for the BFS.
+      ++report.oracle_queries;
+      adj[u].pop_back();
+      adj[v].pop_back();
+      oracle_closed = reachable(adj, u, v, mark, ++round);
+      adj[u].push_back(v);
+      adj[v].push_back(u);
+    }
+    if (verdict.closed_cycle != oracle_closed) {
+      mismatch(i, "closure verdict " + std::to_string(verdict.closed_cycle) +
+                      " but BFS oracle says " + std::to_string(oracle_closed));
+      continue;
+    }
+
+    if (verdict.closed_cycle) {
+      ++report.closures;
+      const graph::Graph g = graph::Graph::from_edges(stream.n, edges);
+      if (!graph::validate_cycle(g, verdict.witness)) {
+        mismatch(i, "witness " + joined(verdict.witness) + " is not a cycle of the prefix graph");
+        continue;
+      }
+      const unsigned len = static_cast<unsigned>(verdict.witness.size());
+      if (len > options.max_query_k) continue;
+      // The repo's DFS oracle must see a C_len through the inserted edge.
+      ++report.oracle_queries;
+      if (!graph::has_cycle_through_edge(g, len, u, v)) {
+        mismatch(i, "DFS oracle finds no C_" + std::to_string(len) + " through " +
+                        std::to_string(u) + "-" + std::to_string(v));
+        continue;
+      }
+      // Batch detectors on the snapshot: exact-regime C_len queries must
+      // reject with a valid witness.
+      for (const core::Detector* d : detectors) {
+        const core::DetectorCapabilities& caps = d->capabilities();
+        if (len < caps.min_k || len > caps.max_k) continue;
+        engine::Query q;
+        q.detector = d;
+        q.options.k = len;
+        q.options.seed = engine::trial_seed(stream.seed, i);
+        q.options.budget = core::threshold::BudgetSchedule::none();
+        q.options.max_tracked = 0;
+        if (caps.draws_edge) q.options.edge = graph::Edge{std::min(u, v), std::max(u, v)};
+        const std::vector<core::Verdict> verdicts = session.run_batch({&q, 1});
+        ++report.batch_queries;
+        if (verdicts[0].accepted) {
+          mismatch(i, std::string(d->name()) + " accepted although a C_" +
+                          std::to_string(len) + " closed at this prefix");
+        }
+      }
+    } else if (fc.closures() == 0) {
+      // Still a forest: every C_k query must accept. Draw one k per checked
+      // prefix to sweep the range without k-sized blowup.
+      for (const core::Detector* d : detectors) {
+        const core::DetectorCapabilities& caps = d->capabilities();
+        const unsigned lo = std::max(3u, caps.min_k);
+        const unsigned hi = std::min(options.max_query_k, caps.max_k);
+        if (lo > hi) continue;
+        engine::Query q;
+        q.detector = d;
+        q.options.k = lo + static_cast<unsigned>(i % (hi - lo + 1));
+        q.options.seed = engine::trial_seed(stream.seed, i);
+        q.options.budget = core::threshold::BudgetSchedule::none();
+        q.options.max_tracked = 0;
+        if (caps.draws_edge) q.options.edge = graph::Edge{std::min(u, v), std::max(u, v)};
+        const std::vector<core::Verdict> verdicts = session.run_batch({&q, 1});
+        ++report.batch_queries;
+        if (!verdicts[0].accepted) {
+          mismatch(i, std::string(d->name()) + " rejected (k=" + std::to_string(q.options.k) +
+                          ") although the prefix graph is a forest");
+        }
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace decycle::incremental

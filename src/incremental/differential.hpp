@@ -1,0 +1,76 @@
+/// \file differential.hpp
+/// \brief Insertion-prefix differential: incremental verdicts vs the DFS
+/// oracle vs batch detectors.
+///
+/// The soak subsystem cross-checks batch detectors on static instances;
+/// this is the streaming complement. A stream is replayed insert by insert
+/// and, at checked prefixes, three systems must agree:
+///
+///   * the incremental verdict — ForestConnectivity's "did this insert
+///     close a cycle?" (DagLevels for directed streams) — is pinned
+///     against a from-scratch BFS oracle on the explicit prefix graph:
+///     closure iff the endpoints were already connected (iff a v ⇝ u path
+///     existed, directed);
+///   * every closure's witness must be a genuine cycle of the post-insert
+///     prefix graph, and the repo's DFS oracle must find a cycle of the
+///     witness length through the inserted edge;
+///   * batch detectors (at least two exact-regime registry detectors, by
+///     name) run through the IncrementalSession checkpoint bridge on the
+///     post-insert snapshot: on a closure of length L they are queried for
+///     C_L (threshold with an unlimited untracked budget is an exhaustive
+///     scan; the edge checker is handed the inserted edge explicitly) and
+///     must reject with a valid witness; while the stream is still a
+///     forest they are queried on sampled prefixes and must accept.
+///
+/// Every check routes through the session's epoch/purge machinery, so a
+/// stale cached Simulator session surviving a mutation would surface here
+/// as a mismatch. Directed streams pin against the oracle only (the
+/// registry detectors speak undirected CONGEST) and stop at the first
+/// closure, where DagLevels' contract ends.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/detector.hpp"
+#include "incremental/stream.hpp"
+
+namespace decycle::incremental {
+
+struct PrefixCheckOptions {
+  /// Upper bound on checked prefixes; 0 checks every insert. Closures are
+  /// always checked — the stride only thins the quiet stretches.
+  std::size_t max_prefixes = 0;
+  /// Longest cycle length forwarded to the DFS oracle and batch detectors
+  /// (longer witnesses are still structurally validated). Exact-regime C_k
+  /// scans grow exponentially in k — soak's instance space stops at k=9
+  /// for the same reason.
+  unsigned max_query_k = 10;
+  /// Exact-regime registry detectors to pin (registry names).
+  std::vector<std::string> detectors = {"threshold", "edge_checker"};
+  const core::DetectorRegistry* registry = nullptr;  ///< builtin when null
+};
+
+struct PrefixMismatch {
+  std::size_t prefix = 0;  ///< insert index the disagreement surfaced at
+  std::string detail;
+};
+
+struct PrefixCheckReport {
+  std::size_t prefixes_checked = 0;
+  std::size_t closures = 0;
+  std::size_t batch_queries = 0;   ///< detector runs through the session bridge
+  std::size_t oracle_queries = 0;  ///< BFS/DFS oracle evaluations
+  std::vector<PrefixMismatch> mismatches;
+
+  [[nodiscard]] bool failed() const noexcept { return !mismatches.empty(); }
+};
+
+/// Replays \p stream and pins the three systems against each other. Pure
+/// function of (stream, options) — a failing prefix travels as the stream's
+/// first (prefix+1) inserts via write_stream.
+[[nodiscard]] PrefixCheckReport check_stream_prefixes(const InsertStream& stream,
+                                                      const PrefixCheckOptions& options = {});
+
+}  // namespace decycle::incremental

@@ -1,0 +1,173 @@
+#include "incremental/stream.hpp"
+
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <unordered_set>
+
+#include "util/check.hpp"
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+
+namespace decycle::incremental {
+
+namespace {
+
+/// Canonical 64-bit key of one insert for duplicate detection: unordered
+/// for undirected streams, ordered for directed ones.
+std::uint64_t insert_key(const Insert& e, bool directed) {
+  graph::Vertex a = e.first;
+  graph::Vertex b = e.second;
+  if (!directed && a > b) std::swap(a, b);
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+/// Decodes triangular index \p idx into the canonical pair (u < v) with
+/// idx = v(v-1)/2 + u. Double sqrt gets within one of the right row; the
+/// adjustment loop makes it exact for any 64-bit-triangular universe.
+Insert decode_pair(std::uint64_t idx) {
+  auto v = static_cast<std::uint64_t>(
+      (1.0 + std::sqrt(1.0 + 8.0 * static_cast<double>(idx))) / 2.0);
+  while (v * (v - 1) / 2 > idx) --v;
+  while ((v + 1) * v / 2 <= idx) ++v;
+  const std::uint64_t u = idx - v * (v - 1) / 2;
+  return {static_cast<graph::Vertex>(u), static_cast<graph::Vertex>(v)};
+}
+
+}  // namespace
+
+void write_stream(std::ostream& out, const InsertStream& stream) {
+  out << "# decycle_incr stream v1\n";
+  out << "stream n=" << stream.n << " directed=" << (stream.directed ? 1 : 0)
+      << " seed=" << stream.seed << "\n";
+  out << stream.inserts.size() << "\n";
+  for (const Insert& e : stream.inserts) out << e.first << " " << e.second << "\n";
+}
+
+InsertStream read_stream(std::istream& in) {
+  std::string line;
+  auto next_content_line = [&](const char* what) {
+    while (std::getline(in, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      return;
+    }
+    DECYCLE_CHECK_MSG(false, std::string("stream parse: unexpected end of file, expected ") + what);
+  };
+
+  next_content_line("the 'stream n=... directed=... seed=...' header");
+  std::istringstream header(line);
+  std::string tag;
+  header >> tag;
+  DECYCLE_CHECK_MSG(tag == "stream",
+                    "stream parse: header must start with 'stream', got '" + tag + "'");
+  InsertStream out;
+  bool saw_n = false;
+  bool saw_directed = false;
+  std::string token;
+  while (header >> token) {
+    const std::size_t eq = token.find('=');
+    DECYCLE_CHECK_MSG(eq != std::string::npos,
+                      "stream parse: header token '" + token + "' is not key=value");
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    try {
+      if (key == "n") {
+        DECYCLE_CHECK_MSG(!saw_n, "stream parse: duplicate header key 'n'");
+        out.n = static_cast<graph::Vertex>(std::stoull(value));
+        saw_n = true;
+      } else if (key == "directed") {
+        DECYCLE_CHECK_MSG(!saw_directed, "stream parse: duplicate header key 'directed'");
+        DECYCLE_CHECK_MSG(value == "0" || value == "1",
+                          "stream parse: directed must be 0 or 1, got '" + value + "'");
+        out.directed = value == "1";
+        saw_directed = true;
+      } else if (key == "seed") {
+        out.seed = std::stoull(value);
+      } else {
+        DECYCLE_CHECK_MSG(false, "stream parse: unknown header key '" + key +
+                                     "' (accepted: n, directed, seed)");
+      }
+    } catch (const std::invalid_argument&) {
+      DECYCLE_CHECK_MSG(false, "stream parse: malformed value for '" + key + "': '" + value + "'");
+    } catch (const std::out_of_range&) {
+      DECYCLE_CHECK_MSG(false, "stream parse: value for '" + key + "' out of range: '" + value + "'");
+    }
+  }
+  DECYCLE_CHECK_MSG(saw_n, "stream parse: header is missing n=");
+  DECYCLE_CHECK_MSG(saw_directed, "stream parse: header is missing directed=");
+
+  next_content_line("the insert count");
+  std::size_t count = 0;
+  {
+    std::istringstream counter(line);
+    DECYCLE_CHECK_MSG(static_cast<bool>(counter >> count),
+                      "stream parse: malformed insert count '" + line + "'");
+  }
+
+  out.inserts.reserve(count);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(count * 2);
+  for (std::size_t i = 0; i < count; ++i) {
+    next_content_line("an insert line");
+    std::istringstream edge_line(line);
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    DECYCLE_CHECK_MSG(static_cast<bool>(edge_line >> a >> b),
+                      "stream parse: malformed insert " + std::to_string(i) + ": '" + line + "'");
+    DECYCLE_CHECK_MSG(a < out.n && b < out.n,
+                      "stream parse: insert " + std::to_string(i) + " endpoint out of range (n=" +
+                          std::to_string(out.n) + "): '" + line + "'");
+    DECYCLE_CHECK_MSG(a != b, "stream parse: insert " + std::to_string(i) + " is a self-loop");
+    const Insert e{static_cast<graph::Vertex>(a), static_cast<graph::Vertex>(b)};
+    DECYCLE_CHECK_MSG(seen.insert(insert_key(e, out.directed)).second,
+                      "stream parse: insert " + std::to_string(i) +
+                          " duplicates an earlier insert (streams are duplicate-free)");
+    out.inserts.push_back(e);
+  }
+  return out;
+}
+
+InsertStream generate_stream(const StreamSpec& spec) {
+  DECYCLE_CHECK_MSG(spec.n >= 2, "generate_stream: need at least 2 vertices");
+  InsertStream out;
+  out.n = spec.n;
+  out.directed = spec.directed;
+  out.seed = spec.seed;
+
+  const std::uint64_t n = spec.n;
+  util::Rng rng = util::Rng(spec.seed)
+                      .fork(n)
+                      .fork((spec.directed ? 2u : 0u) | (spec.acyclic ? 1u : 0u));
+
+  if (spec.directed && !spec.acyclic) {
+    // Distinct ordered arcs (no self-loops), uniformly ordered.
+    const std::uint64_t universe = n * (n - 1);
+    const std::size_t m = static_cast<std::size_t>(
+        std::min<std::uint64_t>(spec.inserts, universe));
+    for (const std::uint64_t idx : rng.sample_distinct(universe, m)) {
+      const std::uint64_t a = idx / (n - 1);
+      const std::uint64_t r = idx % (n - 1);
+      const std::uint64_t b = r + (r >= a ? 1 : 0);
+      out.inserts.emplace_back(static_cast<graph::Vertex>(a), static_cast<graph::Vertex>(b));
+    }
+    return out;
+  }
+
+  // Distinct unordered pairs. Directed+acyclic orients each along a hidden
+  // uniform topological order, so the stream cannot close a directed cycle.
+  const std::uint64_t universe = n * (n - 1) / 2;
+  const std::size_t m =
+      static_cast<std::size_t>(std::min<std::uint64_t>(spec.inserts, universe));
+  std::vector<std::uint32_t> order;
+  if (spec.directed) order = rng.permutation(spec.n);
+  for (const std::uint64_t idx : rng.sample_distinct(universe, m)) {
+    Insert e = decode_pair(idx);
+    if (spec.directed && order[e.first] > order[e.second]) std::swap(e.first, e.second);
+    out.inserts.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace decycle::incremental

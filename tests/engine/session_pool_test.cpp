@@ -135,6 +135,12 @@ TEST(SessionPool, PurgeDropsEveryIdleSessionOfTheGraph) {
   pool.purge(g->hash);
   EXPECT_EQ(pool.idle_count(), 1u);  // only `other` remains
   EXPECT_TRUE(pool.lease(other, congest::CommModel::congest()).cached());
+  // Purge counters are distinct from capacity evictions (--engine-stats
+  // reports both): one purge() call, two idle sessions of g destroyed.
+  const SessionStats s = pool.stats();
+  EXPECT_EQ(s.purges, 1u);
+  EXPECT_EQ(s.purged_sessions, 2u);
+  EXPECT_EQ(s.evictions, 0u);
 }
 
 TEST(SessionPool, ReleaseIsIdempotentAndMoveSafe) {

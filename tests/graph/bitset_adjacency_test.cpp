@@ -6,7 +6,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <functional>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "graph/generators.hpp"
@@ -160,6 +162,38 @@ TEST(OrderedEdges, RejectsOutOfOrderAndDuplicateEdges) {
   EXPECT_THROW((void)Graph::from_ordered_edges(5, {{0, 2}, {0, 1}}), util::CheckError);
   EXPECT_THROW((void)Graph::from_ordered_edges(5, {{1, 2}, {0, 3}}), util::CheckError);
   EXPECT_THROW((void)Graph::from_ordered_edges(5, {{0, 1}, {0, 1}}), util::CheckError);
+}
+
+TEST(OrderedEdges, ErrorsNameTheOffendingEdgeIndex) {
+  // A caller staring at a million-edge stream needs the index and the edge,
+  // not just which contract broke.
+  const auto message_of = [](const std::function<void()>& fn) -> std::string {
+    try {
+      fn();
+    } catch (const util::CheckError& e) {
+      return e.what();
+    }
+    return {};
+  };
+  const std::string non_canonical =
+      message_of([] { (void)Graph::from_ordered_edges(4, {{0, 1}, {2, 1}}); });
+  EXPECT_NE(non_canonical.find("edge 1 (2,1)"), std::string::npos) << non_canonical;
+  EXPECT_NE(non_canonical.find("canonical"), std::string::npos) << non_canonical;
+
+  const std::string out_of_range =
+      message_of([] { (void)Graph::from_ordered_edges(4, {{0, 1}, {1, 2}, {2, 9}}); });
+  EXPECT_NE(out_of_range.find("edge 2 (2,9)"), std::string::npos) << out_of_range;
+  EXPECT_NE(out_of_range.find("out of range (n=4)"), std::string::npos) << out_of_range;
+
+  const std::string unsorted =
+      message_of([] { (void)Graph::from_ordered_edges(5, {{1, 2}, {0, 3}}); });
+  EXPECT_NE(unsorted.find("edge 1 (0,3)"), std::string::npos) << unsorted;
+  EXPECT_NE(unsorted.find("previous (1,2)"), std::string::npos) << unsorted;
+
+  const std::string duplicate =
+      message_of([] { (void)Graph::from_ordered_edges(5, {{0, 1}, {0, 1}}); });
+  EXPECT_NE(duplicate.find("edge 1 (0,1)"), std::string::npos) << duplicate;
+  EXPECT_NE(duplicate.find("duplicate or unsorted"), std::string::npos) << duplicate;
 }
 
 TEST(OrderedEdges, EmptyAndEdgelessGraphs) {

@@ -1,0 +1,139 @@
+/// incremental/incremental.hpp — DagLevels: CFKR-style directed-DAG
+/// maintenance under arc insertions.
+///
+/// Contracts under test: acyclic streams (oriented along a hidden
+/// topological order) never report a closure and keep the level invariant
+/// level(a) < level(b) on every arc; the first closing arc is reported with
+/// a witness whose arcs all exist in the prefix; after that first cycle the
+/// structure is poisoned (insert() throws until reset()); reset() recycles
+/// arc blocks back to the pool and starts a fresh stream.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "incremental/incremental.hpp"
+#include "incremental/stream.hpp"
+#include "util/check.hpp"
+
+namespace decycle::incremental {
+namespace {
+
+TEST(DagLevels, BackArcClosesTheCycle) {
+  DagLevels dag(3);
+  EXPECT_FALSE(dag.insert(0, 1).closed_cycle);
+  EXPECT_FALSE(dag.insert(1, 2).closed_cycle);
+  const InsertVerdict v = dag.insert(2, 0);
+  EXPECT_TRUE(v.closed_cycle);
+  EXPECT_TRUE(dag.cyclic());
+  ASSERT_EQ(v.witness.size(), 3u);
+  // Witness starts with the inserted arc and walks back to its tail.
+  EXPECT_EQ(v.witness[0], 2u);
+  EXPECT_EQ(v.witness[1], 0u);
+  EXPECT_EQ(v.witness[2], 1u);
+}
+
+TEST(DagLevels, OppositeArcIsATwoCycle) {
+  DagLevels dag(2);
+  EXPECT_FALSE(dag.insert(0, 1).closed_cycle);
+  const InsertVerdict v = dag.insert(1, 0);
+  EXPECT_TRUE(v.closed_cycle);
+  EXPECT_EQ(v.witness.size(), 2u);
+}
+
+TEST(DagLevels, AcyclicStreamsNeverReport) {
+  for (const std::uint64_t seed : {2ull, 9ull, 31ull}) {
+    StreamSpec spec;
+    spec.n = 64;
+    spec.inserts = 400;
+    spec.directed = true;
+    spec.acyclic = true;
+    spec.seed = seed;
+    const InsertStream stream = generate_stream(spec);
+    DagLevels dag(spec.n);
+    for (const auto& [u, v] : stream.inserts) {
+      ASSERT_FALSE(dag.insert(u, v).closed_cycle) << "seed " << seed;
+    }
+    EXPECT_FALSE(dag.cyclic());
+    // The CFKR invariant holds on every inserted arc.
+    for (const auto& [u, v] : stream.inserts) {
+      EXPECT_LT(dag.level(u), dag.level(v)) << "seed " << seed;
+    }
+  }
+}
+
+TEST(DagLevels, WitnessArcsAllExistInThePrefix) {
+  StreamSpec spec;
+  spec.n = 40;
+  spec.inserts = 200;
+  spec.directed = true;
+  spec.seed = 17;
+  const InsertStream stream = generate_stream(spec);
+  DagLevels dag(spec.n);
+  std::vector<std::vector<graph::Vertex>> adj(spec.n);
+  bool closed = false;
+  for (const auto& [u, v] : stream.inserts) {
+    const InsertVerdict verdict = dag.insert(u, v);
+    adj[u].push_back(v);
+    if (!verdict.closed_cycle) continue;
+    closed = true;
+    const auto& w = verdict.witness;
+    ASSERT_GE(w.size(), 2u);
+    EXPECT_EQ(w[0], u);
+    EXPECT_EQ(w[1], v);
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      const graph::Vertex a = w[i];
+      const graph::Vertex b = w[(i + 1) % w.size()];
+      EXPECT_NE(std::find(adj[a].begin(), adj[a].end(), b), adj[a].end())
+          << "missing arc " << a << "->" << b;
+    }
+    break;
+  }
+  EXPECT_TRUE(closed);  // a dense random arc stream on 40 vertices cycles
+}
+
+TEST(DagLevels, PoisonedAfterFirstCycleUntilReset) {
+  DagLevels dag(3);
+  (void)dag.insert(0, 1);
+  (void)dag.insert(1, 2);
+  EXPECT_TRUE(dag.insert(2, 0).closed_cycle);
+  EXPECT_THROW((void)dag.insert(0, 2), util::CheckError);
+  dag.reset(3);
+  EXPECT_FALSE(dag.cyclic());
+  EXPECT_EQ(dag.inserts(), 0u);
+  EXPECT_FALSE(dag.insert(0, 2).closed_cycle);  // usable again
+}
+
+TEST(DagLevels, ResetRecyclesAcrossStreams) {
+  // Stream twice through the same instance; the second stream must behave
+  // identically to a fresh one (blocks recycled, levels cleared).
+  StreamSpec spec;
+  spec.n = 32;
+  spec.inserts = 150;
+  spec.directed = true;
+  spec.acyclic = true;
+  spec.seed = 3;
+  const InsertStream stream = generate_stream(spec);
+  DagLevels dag(spec.n);
+  for (int round = 0; round < 2; ++round) {
+    dag.reset(spec.n);
+    for (const auto& [u, v] : stream.inserts) {
+      ASSERT_FALSE(dag.insert(u, v).closed_cycle) << "round " << round;
+    }
+    EXPECT_EQ(dag.inserts(), stream.inserts.size());
+  }
+}
+
+TEST(DagLevels, LongChainThenShortcutBack) {
+  // A path 0->1->...->9 then 9->0: the witness is the full 10-cycle.
+  DagLevels dag(10);
+  for (graph::Vertex v = 0; v + 1 < 10; ++v) {
+    EXPECT_FALSE(dag.insert(v, v + 1).closed_cycle);
+  }
+  const InsertVerdict verdict = dag.insert(9, 0);
+  EXPECT_TRUE(verdict.closed_cycle);
+  EXPECT_EQ(verdict.witness.size(), 10u);
+}
+
+}  // namespace
+}  // namespace decycle::incremental

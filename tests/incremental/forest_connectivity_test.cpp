@@ -1,0 +1,163 @@
+/// incremental/incremental.hpp — ForestConnectivity: streaming undirected
+/// closure verdicts with witness extraction.
+///
+/// The contract under test: insert() answers exactly "were the endpoints
+/// already connected?" (pinned against an explicit BFS oracle), every
+/// closure's witness is a genuine cycle of the prefix graph passing through
+/// the inserted edge, insert_fast() agrees verdict-for-verdict with
+/// insert(), and reset() restores a fresh stream without reallocation
+/// assumptions leaking across streams.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/subgraph.hpp"
+#include "incremental/incremental.hpp"
+#include "incremental/stream.hpp"
+
+namespace decycle::incremental {
+namespace {
+
+/// Independent connectivity oracle on the explicit prefix adjacency.
+bool bfs_connected(const std::vector<std::vector<graph::Vertex>>& adj, graph::Vertex from,
+                   graph::Vertex to) {
+  if (from == to) return true;
+  std::vector<char> seen(adj.size(), 0);
+  std::deque<graph::Vertex> queue{from};
+  seen[from] = 1;
+  while (!queue.empty()) {
+    const graph::Vertex w = queue.front();
+    queue.pop_front();
+    for (const graph::Vertex x : adj[w]) {
+      if (seen[x]) continue;
+      if (x == to) return true;
+      seen[x] = 1;
+      queue.push_back(x);
+    }
+  }
+  return false;
+}
+
+TEST(ForestConnectivity, TriangleClosesOnThirdEdge) {
+  ForestConnectivity fc(3);
+  EXPECT_FALSE(fc.insert(0, 1).closed_cycle);
+  EXPECT_FALSE(fc.insert(1, 2).closed_cycle);
+  const InsertVerdict v = fc.insert(2, 0);
+  EXPECT_TRUE(v.closed_cycle);
+  ASSERT_EQ(v.witness.size(), 3u);
+  EXPECT_EQ(fc.closures(), 1u);
+  EXPECT_EQ(fc.inserts(), 3u);
+}
+
+TEST(ForestConnectivity, VerdictsMatchBfsOracleOnRandomStreams) {
+  for (const std::uint64_t seed : {1ull, 7ull, 23ull}) {
+    StreamSpec spec;
+    spec.n = 48;
+    spec.inserts = 120;
+    spec.seed = seed;
+    const InsertStream stream = generate_stream(spec);
+    ForestConnectivity fc(spec.n);
+    std::vector<std::vector<graph::Vertex>> adj(spec.n);
+    for (const auto& [u, v] : stream.inserts) {
+      const bool oracle = bfs_connected(adj, u, v);
+      EXPECT_EQ(fc.insert(u, v).closed_cycle, oracle) << "seed " << seed;
+      adj[u].push_back(v);
+      adj[v].push_back(u);
+    }
+  }
+}
+
+TEST(ForestConnectivity, WitnessIsAValidatedCycleThroughTheInsertedEdge) {
+  StreamSpec spec;
+  spec.n = 32;
+  spec.inserts = 96;
+  spec.seed = 5;
+  const InsertStream stream = generate_stream(spec);
+  ForestConnectivity fc(spec.n);
+  std::vector<graph::Edge> edges;
+  std::size_t closures = 0;
+  for (const auto& [u, v] : stream.inserts) {
+    const InsertVerdict verdict = fc.insert(u, v);
+    edges.emplace_back(std::min(u, v), std::max(u, v));
+    if (!verdict.closed_cycle) {
+      EXPECT_TRUE(verdict.witness.empty());
+      continue;
+    }
+    ++closures;
+    const graph::Graph g = graph::Graph::from_edges(spec.n, edges);
+    EXPECT_TRUE(graph::validate_cycle(g, verdict.witness));
+    // The inserted edge is on the witness: u and v adjacent on the cycle.
+    const auto& w = verdict.witness;
+    bool has_uv = false;
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      const graph::Vertex a = w[i];
+      const graph::Vertex b = w[(i + 1) % w.size()];
+      has_uv |= (a == u && b == v) || (a == v && b == u);
+    }
+    EXPECT_TRUE(has_uv);
+  }
+  EXPECT_GT(closures, 10u);  // the stream is dense enough to close plenty
+  EXPECT_EQ(closures, fc.closures());
+}
+
+TEST(ForestConnectivity, InsertFastAgreesWithInsert) {
+  StreamSpec spec;
+  spec.n = 40;
+  spec.inserts = 100;
+  spec.seed = 11;
+  const InsertStream stream = generate_stream(spec);
+  ForestConnectivity with_witness(spec.n);
+  ForestConnectivity fast(spec.n);
+  for (const auto& [u, v] : stream.inserts) {
+    EXPECT_EQ(with_witness.insert(u, v).closed_cycle, fast.insert_fast(u, v));
+  }
+  EXPECT_EQ(with_witness.closures(), fast.closures());
+}
+
+TEST(ForestConnectivity, MixingFastAndWitnessInsertsStaysCorrect) {
+  // insert_fast must keep the spanning forest intact so a later insert()
+  // can still extract a witness.
+  ForestConnectivity fc(5);
+  EXPECT_FALSE(fc.insert_fast(0, 1));
+  EXPECT_FALSE(fc.insert(1, 2).closed_cycle);
+  EXPECT_FALSE(fc.insert_fast(2, 3));
+  EXPECT_FALSE(fc.insert(3, 4).closed_cycle);
+  const InsertVerdict v = fc.insert(4, 0);
+  EXPECT_TRUE(v.closed_cycle);
+  EXPECT_EQ(v.witness.size(), 5u);  // the 5-cycle 0-1-2-3-4
+}
+
+TEST(ForestConnectivity, ResetStartsAFreshStream) {
+  ForestConnectivity fc(4);
+  EXPECT_FALSE(fc.insert(0, 1).closed_cycle);
+  EXPECT_FALSE(fc.insert(1, 2).closed_cycle);
+  EXPECT_TRUE(fc.insert(2, 0).closed_cycle);
+  fc.reset(4);
+  EXPECT_EQ(fc.inserts(), 0u);
+  EXPECT_EQ(fc.closures(), 0u);
+  // The same edges are fresh again: no state leaked across streams.
+  EXPECT_FALSE(fc.insert(0, 1).closed_cycle);
+  EXPECT_FALSE(fc.insert(1, 2).closed_cycle);
+  EXPECT_TRUE(fc.insert(2, 0).closed_cycle);
+  // And reset can shrink or grow the vertex set.
+  fc.reset(2);
+  EXPECT_EQ(fc.num_vertices(), 2u);
+  EXPECT_FALSE(fc.insert(0, 1).closed_cycle);
+}
+
+TEST(ForestConnectivity, ConnectedTracksComponents) {
+  ForestConnectivity fc(6);
+  (void)fc.insert(0, 1);
+  (void)fc.insert(2, 3);
+  EXPECT_TRUE(fc.connected(0, 1));
+  EXPECT_FALSE(fc.connected(1, 2));
+  (void)fc.insert(1, 2);
+  EXPECT_TRUE(fc.connected(0, 3));
+  EXPECT_FALSE(fc.connected(0, 5));
+}
+
+}  // namespace
+}  // namespace decycle::incremental

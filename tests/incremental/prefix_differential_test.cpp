@@ -1,0 +1,105 @@
+/// incremental/differential.hpp — the insertion-prefix differential.
+///
+/// The acceptance suite: across seeded streams totalling well over 500
+/// checked prefixes, the incremental verdicts, the BFS/DFS oracle, and two
+/// exact-regime batch detectors (run through the IncrementalSession
+/// epoch/purge bridge) must agree with zero mismatches — undirected and
+/// directed, dense and sparse, strided and exhaustive.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+
+#include "incremental/differential.hpp"
+#include "incremental/stream.hpp"
+
+namespace decycle::incremental {
+namespace {
+
+TEST(PrefixDifferential, UndirectedStreamsAgreeEverywhere) {
+  // Every insert checked (max_prefixes=0): verdicts, witnesses, DFS oracle,
+  // and both batch detectors, over several seeds. >= 500 prefixes total.
+  std::size_t total_prefixes = 0;
+  std::size_t total_batch_queries = 0;
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull, 4ull}) {
+    StreamSpec spec;
+    spec.n = 40;
+    spec.inserts = 130;
+    spec.seed = seed;
+    PrefixCheckOptions options;
+    options.max_query_k = 8;  // exact scans grow exponentially in k
+    const PrefixCheckReport report = check_stream_prefixes(generate_stream(spec), options);
+    EXPECT_FALSE(report.failed()) << "seed " << seed << ": "
+                                  << (report.mismatches.empty()
+                                          ? ""
+                                          : report.mismatches.front().detail);
+    EXPECT_EQ(report.prefixes_checked, spec.inserts);
+    EXPECT_GT(report.closures, 0u);
+    total_prefixes += report.prefixes_checked;
+    total_batch_queries += report.batch_queries;
+  }
+  EXPECT_GE(total_prefixes, 500u);
+  EXPECT_GT(total_batch_queries, 0u);
+}
+
+TEST(PrefixDifferential, StridedCheckingStillCatchesEveryClosure) {
+  StreamSpec spec;
+  spec.n = 64;
+  spec.inserts = 200;
+  spec.seed = 12;
+  PrefixCheckOptions options;
+  options.max_prefixes = 10;  // sparse stride...
+  options.max_query_k = 8;
+  const PrefixCheckReport exhaustive = check_stream_prefixes(generate_stream(spec), {});
+  const PrefixCheckReport strided = check_stream_prefixes(generate_stream(spec), options);
+  EXPECT_FALSE(strided.failed());
+  // ...but closures are always checked, so the closure count is identical.
+  EXPECT_EQ(strided.closures, exhaustive.closures);
+  EXPECT_LT(strided.oracle_queries, exhaustive.oracle_queries);
+}
+
+TEST(PrefixDifferential, DirectedStreamsAgreeWithTheReachabilityOracle) {
+  for (const std::uint64_t seed : {5ull, 6ull, 7ull}) {
+    StreamSpec spec;
+    spec.n = 48;
+    spec.inserts = 220;
+    spec.directed = true;
+    spec.seed = seed;
+    const PrefixCheckReport report = check_stream_prefixes(generate_stream(spec), {});
+    EXPECT_FALSE(report.failed()) << "seed " << seed << ": "
+                                  << (report.mismatches.empty()
+                                          ? ""
+                                          : report.mismatches.front().detail);
+    EXPECT_EQ(report.closures, 1u);  // dense arc streams cycle, then stop
+  }
+}
+
+TEST(PrefixDifferential, DirectedAcyclicStreamsNeverClose) {
+  StreamSpec spec;
+  spec.n = 48;
+  spec.inserts = 300;
+  spec.directed = true;
+  spec.acyclic = true;
+  spec.seed = 9;
+  const PrefixCheckReport report = check_stream_prefixes(generate_stream(spec), {});
+  EXPECT_FALSE(report.failed());
+  EXPECT_EQ(report.closures, 0u);
+  EXPECT_EQ(report.prefixes_checked, spec.inserts);
+}
+
+TEST(PrefixDifferential, SparseForestStreamExercisesTheAcceptPath) {
+  // More vertices than inserts: long forest stretches, so the batch
+  // detectors spend most prefixes on the must-accept side.
+  StreamSpec spec;
+  spec.n = 120;
+  spec.inserts = 80;
+  spec.seed = 31;
+  PrefixCheckOptions options;
+  options.max_query_k = 8;
+  const PrefixCheckReport report = check_stream_prefixes(generate_stream(spec), options);
+  EXPECT_FALSE(report.failed());
+  EXPECT_GT(report.batch_queries, 100u);
+}
+
+}  // namespace
+}  // namespace decycle::incremental

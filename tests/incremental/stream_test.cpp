@@ -1,0 +1,178 @@
+/// incremental/stream.hpp — replay files and the seeded stream generator.
+///
+/// Round-trip byte identity (write → read → write), loud parser negatives
+/// naming the offending line/insert and accepted alternatives, and the
+/// generator's contracts: determinism in the spec, duplicate-freeness,
+/// in-range endpoints, no self-loops, and provable acyclicity of
+/// directed+acyclic streams.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "incremental/incremental.hpp"
+#include "incremental/stream.hpp"
+#include "util/check.hpp"
+
+namespace decycle::incremental {
+namespace {
+
+std::string to_text(const InsertStream& stream) {
+  std::ostringstream out;
+  write_stream(out, stream);
+  return out.str();
+}
+
+InsertStream from_text(const std::string& text) {
+  std::istringstream in(text);
+  return read_stream(in);
+}
+
+/// The thrown message must mention every fragment — loud-parser contract.
+void expect_parse_error(const std::string& text, std::initializer_list<const char*> fragments) {
+  try {
+    (void)from_text(text);
+    FAIL() << "expected CheckError for:\n" << text;
+  } catch (const util::CheckError& e) {
+    const std::string what = e.what();
+    for (const char* fragment : fragments) {
+      EXPECT_NE(what.find(fragment), std::string::npos)
+          << "message lacks '" << fragment << "': " << what;
+    }
+  }
+}
+
+TEST(Stream, WriteReadRoundTripsByteIdentically) {
+  StreamSpec spec;
+  spec.n = 30;
+  spec.inserts = 60;
+  spec.seed = 13;
+  for (const bool directed : {false, true}) {
+    spec.directed = directed;
+    const InsertStream stream = generate_stream(spec);
+    const std::string text = to_text(stream);
+    const InsertStream parsed = from_text(text);
+    EXPECT_EQ(parsed.n, stream.n);
+    EXPECT_EQ(parsed.directed, stream.directed);
+    EXPECT_EQ(parsed.seed, stream.seed);
+    EXPECT_EQ(parsed.inserts, stream.inserts);
+    EXPECT_EQ(to_text(parsed), text);
+  }
+}
+
+TEST(Stream, CommentsAndBlankLinesAreIgnored) {
+  const InsertStream parsed = from_text(
+      "# a comment\n"
+      "\n"
+      "stream n=4 directed=0 seed=9\n"
+      "# another\n"
+      "2\n"
+      "0 1\n"
+      "\n"
+      "2 3\n");
+  EXPECT_EQ(parsed.n, 4u);
+  EXPECT_EQ(parsed.seed, 9u);
+  ASSERT_EQ(parsed.inserts.size(), 2u);
+  EXPECT_EQ(parsed.inserts[1], (Insert{2, 3}));
+}
+
+TEST(Stream, ParserNamesTheOffense) {
+  // Missing header keys.
+  expect_parse_error("stream directed=0\n0\n", {"missing n="});
+  expect_parse_error("stream n=4\n0\n", {"missing directed="});
+  // Wrong leading tag and unknown key name the accepted alternatives.
+  expect_parse_error("river n=4 directed=0\n0\n", {"must start with 'stream'", "river"});
+  expect_parse_error("stream n=4 directed=0 sed=1\n0\n",
+                     {"unknown header key 'sed'", "n, directed, seed"});
+  expect_parse_error("stream n=4 directed=2\n0\n", {"directed must be 0 or 1", "'2'"});
+  expect_parse_error("stream n=x directed=0\n0\n", {"malformed value for 'n'"});
+  expect_parse_error("stream n=4 n=5 directed=0\n0\n", {"duplicate header key 'n'"});
+  // Truncation, malformed counts and inserts name what was expected.
+  expect_parse_error("stream n=4 directed=0\n", {"unexpected end of file", "insert count"});
+  expect_parse_error("stream n=4 directed=0\nmany\n", {"malformed insert count", "many"});
+  expect_parse_error("stream n=4 directed=0\n2\n0 1\n", {"unexpected end of file", "insert line"});
+  expect_parse_error("stream n=4 directed=0\n1\n0 q\n", {"malformed insert 0"});
+  // Range, self-loop, and duplicate violations name the insert index.
+  expect_parse_error("stream n=4 directed=0\n1\n0 4\n",
+                     {"insert 0 endpoint out of range", "n=4"});
+  expect_parse_error("stream n=4 directed=0\n1\n2 2\n", {"insert 0 is a self-loop"});
+}
+
+TEST(Stream, DuplicateDetectionRespectsOrientation) {
+  // Undirected: (1,0) duplicates (0,1).
+  expect_parse_error("stream n=4 directed=0\n2\n0 1\n1 0\n",
+                     {"insert 1 duplicates", "duplicate-free"});
+  // Directed: (1,0) is the opposite arc — legal; an exact repeat is not.
+  const InsertStream ok = from_text("stream n=4 directed=1\n2\n0 1\n1 0\n");
+  EXPECT_EQ(ok.inserts.size(), 2u);
+  expect_parse_error("stream n=4 directed=1\n2\n0 1\n0 1\n", {"insert 1 duplicates"});
+}
+
+TEST(Stream, GeneratorIsDeterministicInTheSpec) {
+  StreamSpec spec;
+  spec.n = 50;
+  spec.inserts = 200;
+  spec.seed = 77;
+  const InsertStream a = generate_stream(spec);
+  const InsertStream b = generate_stream(spec);
+  EXPECT_EQ(a.inserts, b.inserts);
+  spec.seed = 78;
+  EXPECT_NE(generate_stream(spec).inserts, a.inserts);
+}
+
+TEST(Stream, GeneratorDrawsDistinctInRangeInserts) {
+  for (const bool directed : {false, true}) {
+    StreamSpec spec;
+    spec.n = 24;
+    spec.inserts = 150;
+    spec.directed = directed;
+    spec.seed = 4;
+    const InsertStream stream = generate_stream(spec);
+    EXPECT_EQ(stream.inserts.size(), 150u);
+    std::set<std::pair<graph::Vertex, graph::Vertex>> seen;
+    for (auto [u, v] : stream.inserts) {
+      EXPECT_LT(u, spec.n);
+      EXPECT_LT(v, spec.n);
+      EXPECT_NE(u, v);
+      if (!directed && u > v) std::swap(u, v);
+      EXPECT_TRUE(seen.emplace(u, v).second) << "duplicate " << u << "," << v;
+    }
+  }
+}
+
+TEST(Stream, InsertCountIsClampedToTheUniverse) {
+  StreamSpec spec;
+  spec.n = 5;
+  spec.inserts = 1'000;  // only C(5,2) = 10 distinct edges exist
+  const InsertStream undirected = generate_stream(spec);
+  EXPECT_EQ(undirected.inserts.size(), 10u);
+  spec.directed = true;
+  EXPECT_EQ(generate_stream(spec).inserts.size(), 20u);  // ordered arcs
+}
+
+TEST(Stream, AcyclicStreamsNeverCloseADirectedCycle) {
+  for (const std::uint64_t seed : {1ull, 6ull, 42ull}) {
+    StreamSpec spec;
+    spec.n = 40;
+    spec.inserts = 300;
+    spec.directed = true;
+    spec.acyclic = true;
+    spec.seed = seed;
+    const InsertStream stream = generate_stream(spec);
+    DagLevels dag(spec.n);
+    for (const auto& [u, v] : stream.inserts) {
+      ASSERT_FALSE(dag.insert(u, v).closed_cycle) << "seed " << seed;
+    }
+  }
+}
+
+TEST(Stream, GeneratorRejectsDegenerateSpecs) {
+  StreamSpec spec;
+  spec.n = 1;
+  EXPECT_THROW((void)generate_stream(spec), util::CheckError);
+}
+
+}  // namespace
+}  // namespace decycle::incremental

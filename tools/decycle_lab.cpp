@@ -20,8 +20,9 @@
 ///   --timing=0|1   add wall-clock fields (breaks golden diffs; default 0)
 ///   --progress     per-cell progress lines on stderr
 ///   --engine-stats print the engine's session-cache counters (hits,
-///                  misses, evictions) on stderr after the run — stderr so
-///                  the JSONL golden contract on stdout is untouched
+///                  misses, evictions, purges, purged sessions) on stderr
+///                  after the run — stderr so the JSONL golden contract on
+///                  stdout is untouched
 ///   --list         print the known graph families and exit
 ///   --list-algos   print every registered detector's name and capabilities
 ///                  (k range, knobs, accepted models) and exit — the
@@ -83,7 +84,8 @@ int main(int argc, char** argv) {
     if (engine_stats) {
       const engine::SessionStats s = runner.session_stats();
       std::cerr << "[engine] sessions: hits=" << s.hits << " misses=" << s.misses
-                << " evictions=" << s.evictions << "\n";
+                << " evictions=" << s.evictions << " purges=" << s.purges
+                << " purged_sessions=" << s.purged_sessions << "\n";
     }
 
     if (out_path.empty()) {
