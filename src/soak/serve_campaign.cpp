@@ -1,0 +1,403 @@
+#include "soak/serve_campaign.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <chrono>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <span>
+#include <utility>
+
+#include "congest/comm_model.hpp"
+#include "core/detector.hpp"
+#include "engine/engine.hpp"
+#include "engine/graph_store.hpp"
+#include "graph/ids.hpp"
+#include "incremental/stream.hpp"
+#include "lab/json.hpp"
+#include "serve/protocol.hpp"
+#include "util/check.hpp"
+
+namespace decycle::soak {
+
+namespace {
+
+/// Lowercase hex of \p value — matches the server's hash formatting, so the
+/// checkpoint cross-check compares strings the wire actually carries.
+std::string hex64(std::uint64_t value) {
+  char buf[17];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value, 16);
+  DECYCLE_CHECK(ec == std::errc{});
+  return std::string(buf, ptr);
+}
+
+/// Extracts the value of `key=` (key includes the '=') from a reply body;
+/// empty when absent.
+std::string reply_field(const std::string& reply, std::string_view key) {
+  const std::size_t pos = reply.find(key);
+  if (pos == std::string::npos) return {};
+  const std::size_t start = pos + key.size();
+  const std::size_t end = reply.find(' ', start);
+  return reply.substr(start, end == std::string::npos ? std::string::npos : end - start);
+}
+
+/// The model a query for \p d should run under: congest when the capability
+/// mask admits it (every classic detector), otherwise the first registered
+/// model it does accept; nullptr when none does.
+const congest::CommModel* pick_model(const core::DetectorRegistry& registry,
+                                     const core::Detector& d) {
+  for (const congest::CommModel* model :
+       {&congest::CommModel::congest(), &congest::CommModel::broadcast(),
+        &congest::CommModel::clique()}) {
+    if (registry.validate_model(d, *model).empty()) return model;
+  }
+  return nullptr;
+}
+
+/// Splits the instance's canonical edge list into insert payloads of at most
+/// \p max_edges edges each.
+std::vector<std::string> insert_payloads(const std::string& tenant,
+                                         std::span<const graph::Edge> edges,
+                                         std::size_t max_edges) {
+  std::vector<std::string> out;
+  serve::Request r;
+  r.verb = serve::Verb::kInsert;
+  r.tenant = tenant;
+  for (std::size_t begin = 0; begin < edges.size(); begin += max_edges) {
+    const std::size_t end = std::min(edges.size(), begin + max_edges);
+    r.edges.assign(edges.begin() + static_cast<std::ptrdiff_t>(begin),
+                   edges.begin() + static_cast<std::ptrdiff_t>(end));
+    out.push_back(serve::format_request(r));
+  }
+  return out;
+}
+
+/// The direct half of the differential: the same canonical edge list the
+/// insert stream carried, pinned into a private engine (the session the
+/// tenant's IncrementalSession would intern: from_edges + identity ids).
+engine::PinnedGraphPtr direct_pin(graph::Vertex n, std::span<const graph::Edge> edges) {
+  return engine::pin(graph::Graph::from_edges(n, edges), graph::IdAssignment::identity(n));
+}
+
+std::string direct_query_reply(const engine::DetectionEngine& engine,
+                               const engine::PinnedGraphPtr& pin, const serve::Request& r) {
+  core::DetectorOptions options;
+  options.k = r.k;
+  options.epsilon = r.epsilon;
+  options.seed = r.seed;
+  options.repetitions = r.repetitions;
+  const core::Verdict verdict = engine.run_one(
+      pin, engine::Query{.detector = r.algo, .options = options, .model = r.model, .weight = 1});
+  return "OK query " + serve::format_verdict(verdict);
+}
+
+std::string meta_record(const ServeCampaignOptions& options) {
+  lab::JsonWriter w;
+  w.begin_object()
+      .field("type", "meta")
+      .field("tool", "decycle_soak")
+      .field("mode", "serve")
+      .field("format", 1)
+      .field("seed", options.seed)
+      .field("instances_budget", options.instances)
+      .field("seconds_budget", options.seconds)
+      .field("server_workers", std::uint64_t{options.server.workers})
+      .field("verdict_cache", std::uint64_t{options.server.verdict_cache_capacity});
+  w.key("space")
+      .begin_object()
+      .field("min_k", options.space.min_k)
+      .field("max_k", options.space.max_k)
+      .field("min_n", options.space.min_n)
+      .field("max_n", options.space.max_n)
+      .end_object();
+  w.end_object();
+  return std::move(w).str();
+}
+
+std::string mismatch_record(const ServeMismatch& m) {
+  lab::JsonWriter w;
+  w.begin_object()
+      .field("type", "mismatch")
+      .field("mode", "serve")
+      .field("index", m.instance_index)
+      .field("request", m.request)
+      .field("served", m.served)
+      .field("direct", m.direct)
+      .field("repro", m.repro_path)
+      .end_object();
+  return std::move(w).str();
+}
+
+}  // namespace
+
+void write_serve_repro(std::ostream& out, const ServeRepro& repro) {
+  out << "# decycle_soak serve repro v1\n";
+  out << "# replay: decycle_soak --serve-repro FILE\n";
+  for (const std::string& request : repro.requests) {
+    out << "request " << request << "\n";
+  }
+  out << "served " << repro.served << "\n";
+  out << "direct " << repro.direct << "\n";
+}
+
+ServeRepro read_serve_repro(std::istream& in) {
+  ServeRepro repro;
+  bool saw_served = false;
+  bool saw_direct = false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line.front() == '#') continue;
+    const std::size_t space = line.find(' ');
+    const std::string directive = line.substr(0, space);
+    const std::string rest = space == std::string::npos ? std::string() : line.substr(space + 1);
+    if (directive == "request") {
+      DECYCLE_CHECK_MSG(!rest.empty(), "serve repro: empty request line");
+      repro.requests.push_back(rest);
+    } else if (directive == "served") {
+      DECYCLE_CHECK_MSG(!saw_served, "serve repro: duplicate served line");
+      repro.served = rest;
+      saw_served = true;
+    } else if (directive == "direct") {
+      DECYCLE_CHECK_MSG(!saw_direct, "serve repro: duplicate direct line");
+      repro.direct = rest;
+      saw_direct = true;
+    } else {
+      DECYCLE_CHECK_MSG(false, "serve repro: unknown directive '" + directive +
+                                   "'; accepted: request, served, direct (and # comments)");
+    }
+  }
+  DECYCLE_CHECK_MSG(!repro.requests.empty(), "serve repro: no request lines");
+  DECYCLE_CHECK_MSG(saw_served && saw_direct,
+                    "serve repro: missing served/direct lines recording the divergence");
+  const serve::Request last = serve::parse_request(repro.requests.back());
+  DECYCLE_CHECK_MSG(last.verb == serve::Verb::kQuery || last.verb == serve::Verb::kCheckpoint,
+                    "serve repro: final request must be the probe (a query or checkpoint), got "
+                    "verb '" +
+                        std::string(serve::verb_name(last.verb)) + "'");
+  return repro;
+}
+
+ServeReplayResult replay_serve_repro(const ServeRepro& repro) {
+  // Client path: a fresh single-worker server executes the transcript.
+  serve::ServerOptions server_options;
+  server_options.workers = 1;
+  serve::Server server(server_options);
+  server.start();
+  std::string last_reply;
+  for (const std::string& request : repro.requests) {
+    last_reply = server.call(request);
+  }
+  server.stop();
+
+  // Direct path: rebuild the tenant's edge list from the same transcript.
+  graph::Vertex n = 0;
+  std::vector<graph::Edge> edges;
+  serve::Request probe;
+  for (const std::string& request : repro.requests) {
+    probe = serve::parse_request(request);
+    if (probe.verb == serve::Verb::kCreate) {
+      DECYCLE_CHECK_MSG(probe.family.empty(),
+                        "serve repro: transcripts rebuild tenants from the empty graph; "
+                        "family creates are not replayable");
+      n = probe.n;
+      edges.clear();
+    } else if (probe.verb == serve::Verb::kInsert) {
+      for (const auto& [u, v] : probe.edges) {
+        edges.emplace_back(std::min(u, v), std::max(u, v));
+      }
+    }
+  }
+
+  ServeReplayResult result;
+  const engine::PinnedGraphPtr pin = direct_pin(n, edges);
+  if (probe.verb == serve::Verb::kCheckpoint) {
+    // Hash probes compare the one field the direct path can recompute.
+    result.served = "hash=" + reply_field(last_reply, "hash=");
+    result.direct = "hash=" + hex64(pin->hash);
+  } else {
+    engine::DetectionEngine engine{engine::EngineOptions{}};
+    result.served = last_reply;
+    result.direct = direct_query_reply(engine, pin, probe);
+  }
+  result.reproduced = result.served != result.direct;
+  return result;
+}
+
+ServeCampaignSummary run_serve_campaign(const ServeCampaignOptions& options) {
+  DECYCLE_CHECK_MSG(options.instances > 0 || options.seconds > 0.0,
+                    "serve campaign: set at least one of instances/seconds");
+  if (std::string err = options.space.validate(); !err.empty()) {
+    DECYCLE_CHECK_MSG(false, "serve campaign: " + err);
+  }
+  const core::DetectorRegistry& registry = core::DetectorRegistry::builtin();
+
+  serve::Server server(options.server);
+  server.start();
+  engine::DetectionEngine direct_engine{engine::EngineOptions{}};
+
+  ServeCampaignSummary summary;
+  std::string jsonl = meta_record(options);
+  jsonl.push_back('\n');
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto out_of_budget = [&] {
+    if (options.instances > 0 && summary.instances >= options.instances) return true;
+    if (options.seconds > 0.0) {
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+      if (elapsed >= options.seconds) return true;
+    }
+    return false;
+  };
+
+  for (std::uint64_t index = 0; !out_of_budget(); ++index) {
+    const SoakInstance instance = options.space.draw(options.seed, index);
+    const std::string tenant = "i" + std::to_string(index);
+    const graph::Vertex n = instance.graph.num_vertices();
+    const std::span<const graph::Edge> edges = instance.graph.edges();
+
+    // Transcript: the requests that rebuild this tenant, kept for repros.
+    std::vector<std::string> transcript;
+    serve::Request create;
+    create.verb = serve::Verb::kCreate;
+    create.tenant = tenant;
+    create.n = n;
+    transcript.push_back(serve::format_request(create));
+    for (std::string& payload :
+         insert_payloads(tenant, edges, options.server.limits.max_insert_edges)) {
+      transcript.push_back(std::move(payload));
+    }
+    for (const std::string& request : transcript) {
+      const std::string reply = server.call(request);
+      DECYCLE_CHECK_MSG(serve::is_ok(reply),
+                        "serve campaign: loading instance " + std::to_string(index) +
+                            " failed: request '" + request + "' -> " + reply);
+    }
+    summary.edges_inserted += edges.size();
+
+    const auto record_mismatch = [&](const std::string& request, std::string served,
+                                     std::string direct) {
+      ServeMismatch m;
+      m.instance_index = index;
+      m.request = request;
+      m.served = std::move(served);
+      m.direct = std::move(direct);
+      m.repro.requests = transcript;
+      m.repro.requests.push_back(request);
+      m.repro.served = m.served;
+      m.repro.direct = m.direct;
+      if (!options.repro_dir.empty()) {
+        const std::string what =
+            m.request.rfind("query", 0) == 0 ? reply_field(m.request, "algo=") : "hash";
+        m.repro_path = options.repro_dir + "/serve_repro_i" + std::to_string(index) + "_" +
+                       what + ".txt";
+        std::ofstream out(m.repro_path, std::ios::binary);
+        DECYCLE_CHECK_MSG(out.good(), "cannot write serve repro: " + m.repro_path);
+        write_serve_repro(out, m.repro);
+      }
+      jsonl += mismatch_record(m);
+      jsonl.push_back('\n');
+      summary.mismatches.push_back(std::move(m));
+    };
+
+    // Structural cross-check: the tenant's checkpoint hash must equal the
+    // direct pin's structural hash of the same canonical edge list.
+    const engine::PinnedGraphPtr pin = direct_pin(n, edges);
+    const std::string checkpoint_payload = "checkpoint tenant=" + tenant;
+    const std::string checkpoint_reply = server.call(checkpoint_payload);
+    DECYCLE_CHECK_MSG(serve::is_ok(checkpoint_reply),
+                      "serve campaign: checkpoint failed: " + checkpoint_reply);
+    const std::string served_hash = reply_field(checkpoint_reply, "hash=");
+    const std::string expected_hash = hex64(pin->hash);
+    const bool hash_ok = served_hash == expected_hash;
+    if (!hash_ok) {
+      record_mismatch(checkpoint_payload, "hash=" + served_hash, "hash=" + expected_hash);
+    }
+
+    // Query every capability-compatible detector through both paths. The
+    // drawn scenario supplies the knobs; repetitions are clamped to >= 1 so
+    // an amplified default draw cannot blow the smoke budget.
+    std::size_t instance_queries = 0;
+    std::size_t instance_mismatches = hash_ok ? 0 : 1;
+    if (hash_ok) {
+      for (const core::Detector* detector : registry.detectors()) {
+        const unsigned k = instance.scenario.k;
+        if (k > options.server.limits.max_query_k || !registry.validate_k(*detector, k).empty()) {
+          ++summary.skipped_queries;
+          continue;
+        }
+        const congest::CommModel* model = pick_model(registry, *detector);
+        if (model == nullptr) {
+          ++summary.skipped_queries;
+          continue;
+        }
+        serve::Request query;
+        query.verb = serve::Verb::kQuery;
+        query.tenant = tenant;
+        query.algo = detector;
+        query.k = k;
+        query.model = model;
+        query.epsilon = instance.scenario.epsilon;
+        query.seed = instance.scenario.seed;
+        query.repetitions = std::max<std::size_t>(1, instance.scenario.repetitions);
+        const std::string payload = serve::format_request(query);
+        const std::string served = server.call(payload);
+        const std::string direct = direct_query_reply(direct_engine, pin, query);
+        ++summary.queries;
+        ++instance_queries;
+        if (served != direct) {
+          ++instance_mismatches;
+          record_mismatch(payload, served, direct);
+        }
+      }
+    }
+
+    lab::JsonWriter w;
+    w.begin_object()
+        .field("type", "instance")
+        .field("mode", "serve")
+        .field("index", index)
+        .field("seed", instance.instance_seed)
+        .field("base", instance.base)
+        .field("k", instance.scenario.k)
+        .field("eps", instance.scenario.epsilon)
+        .field("n", std::uint64_t{n})
+        .field("m", std::uint64_t{edges.size()})
+        .field("hash", expected_hash)
+        .field("queries", std::uint64_t{instance_queries})
+        .field("mismatches", std::uint64_t{instance_mismatches})
+        .end_object();
+    jsonl += std::move(w).str();
+    jsonl.push_back('\n');
+
+    ++summary.instances;
+    if (options.progress != nullptr && summary.instances % 32 == 0) {
+      *options.progress << "serve campaign: " << summary.instances << " instances, "
+                        << summary.queries << " queries, " << summary.mismatches.size()
+                        << " mismatches\n";
+    }
+  }
+
+  const serve::Server::CacheStats cache = server.verdict_cache_stats();
+  lab::JsonWriter w;
+  w.begin_object()
+      .field("type", "summary")
+      .field("mode", "serve")
+      .field("instances", summary.instances)
+      .field("queries", summary.queries)
+      .field("edges_inserted", summary.edges_inserted)
+      .field("skipped_queries", summary.skipped_queries)
+      .field("mismatches", std::uint64_t{summary.mismatches.size()})
+      .field("verdict_hits", cache.hits)
+      .field("verdict_misses", cache.misses)
+      .end_object();
+  jsonl += std::move(w).str();
+  jsonl.push_back('\n');
+  summary.jsonl = std::move(jsonl);
+
+  server.stop();
+  return summary;
+}
+
+}  // namespace decycle::soak

@@ -1,0 +1,112 @@
+/// \file serve_campaign.hpp
+/// \brief The serve differential: client-path replies vs direct engine runs.
+///
+/// The classic soak campaign (campaign.hpp) checks detectors against the DFS
+/// oracle. This mode checks the *serving stack* against the engine it wraps:
+/// every drawn soak instance is loaded into an in-process serve::Server as a
+/// fresh tenant (empty create + incremental insert batches — the exact
+/// mutation path a real client uses), then every capability-compatible
+/// detector is queried twice:
+///
+///   * through the client path — a protocol payload submitted to the server,
+///     traversing parse, admission control, worker batching, the verdict
+///     cache, and reply formatting;
+///   * directly — the same canonicalized edge list pinned into a private
+///     DetectionEngine and run through run_one, formatted with the same
+///     format_verdict.
+///
+/// The two reply bodies must be byte-identical (the registry determinism
+/// contract makes a detector run a pure function of graph content + resolved
+/// options, and format_verdict carries no timing), and the tenant's
+/// checkpoint hash must equal the direct pin's structural hash. Any
+/// divergence is a mismatch: the campaign records it, writes a self-contained
+/// serve repro file (the request transcript that rebuilds the tenant plus
+/// both replies), and fails.
+///
+/// Determinism: the campaign drives the server with one closed-loop client,
+/// so the JSONL log is a pure function of (space bounds, seed, instance
+/// count) — byte-identical at every server worker count.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "serve/server.hpp"
+#include "soak/space.hpp"
+
+namespace decycle::soak {
+
+struct ServeCampaignOptions {
+  std::uint64_t seed = 1;
+  /// Stop after exactly this many instances (0 = no instance bound).
+  std::uint64_t instances = 0;
+  /// Stop after roughly this many wall-clock seconds, checked between
+  /// instances (0 = no time budget). At least one of instances/seconds must
+  /// be set.
+  double seconds = 0.0;
+  SoakSpace space;
+  serve::ServerOptions server;
+  /// Directory for serve repro files (one per mismatch, named
+  /// serve_repro_i<index>_<what>.txt). Empty = keep repros in memory only.
+  std::string repro_dir;
+  std::ostream* progress = nullptr;  ///< optional per-instance progress lines
+};
+
+/// A self-contained serve mismatch reproducer: the request transcript that
+/// rebuilds the tenant from an empty graph (create, insert batches, the
+/// diverging request last) plus both replies recorded at campaign time.
+struct ServeRepro {
+  std::vector<std::string> requests;  ///< replayed in order; last is the probe
+  std::string served;                 ///< reply through the client path
+  std::string direct;                 ///< reply from the direct engine run
+};
+
+/// Writes the serve repro format: comment header, one `request <payload>`
+/// line per transcript entry, then `served <reply>` and `direct <reply>`.
+/// Deterministic bytes (write → read → write round-trips identically).
+void write_serve_repro(std::ostream& out, const ServeRepro& repro);
+
+/// Parses the serve repro format. Throws CheckError on unknown directives,
+/// missing sections, or a transcript whose final request is not a query or
+/// checkpoint — each message naming the accepted alternatives.
+[[nodiscard]] ServeRepro read_serve_repro(std::istream& in);
+
+struct ServeReplayResult {
+  std::string served;       ///< client-path reply observed on replay
+  std::string direct;       ///< direct-engine reply recomputed on replay
+  bool reproduced = false;  ///< served != direct (the mismatch is still live)
+};
+
+/// Replays \p repro: a fresh in-process server executes the transcript, the
+/// final request is recomputed on a private engine, and the two replies are
+/// compared again. Pure function of the transcript.
+[[nodiscard]] ServeReplayResult replay_serve_repro(const ServeRepro& repro);
+
+/// One serve-vs-direct divergence, ready to file as a bug.
+struct ServeMismatch {
+  std::uint64_t instance_index = 0;
+  std::string request;  ///< the diverging payload
+  std::string served;
+  std::string direct;
+  ServeRepro repro;
+  std::string repro_path;  ///< empty when repro_dir was not set
+};
+
+struct ServeCampaignSummary {
+  std::uint64_t instances = 0;
+  std::uint64_t queries = 0;         ///< client-path queries cross-checked
+  std::uint64_t edges_inserted = 0;  ///< edges streamed through insert batches
+  std::uint64_t skipped_queries = 0; ///< capability-gated (k/model) detector skips
+  std::vector<ServeMismatch> mismatches;
+  std::string jsonl;  ///< the full campaign log
+
+  [[nodiscard]] bool failed() const noexcept { return !mismatches.empty(); }
+};
+
+/// Runs a serve differential campaign. Throws CheckError when neither an
+/// instance nor a time budget is set, or the space bounds are invalid.
+[[nodiscard]] ServeCampaignSummary run_serve_campaign(const ServeCampaignOptions& options);
+
+}  // namespace decycle::soak

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/check.hpp"
+
 namespace decycle::util {
 
 void OnlineStats::add(double x) noexcept {
@@ -21,7 +23,10 @@ void OnlineStats::add(double x) noexcept {
 
 double OnlineStats::variance() const noexcept {
   if (count_ < 2) return 0.0;
-  return m2_ / static_cast<double>(count_ - 1);
+  // m2_ can drift epsilon-negative through merge()'s catastrophic
+  // cancellation on near-identical windows; clamping keeps stddev() a
+  // number instead of sqrt(-0.0…e-17) = NaN on the serving stats path.
+  return std::max(0.0, m2_ / static_cast<double>(count_ - 1));
 }
 
 double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
@@ -44,6 +49,9 @@ void OnlineStats::merge(const OnlineStats& other) noexcept {
 }
 
 double Percentiles::quantile(double q) {
+  // NaN would sail through std::clamp and turn the index arithmetic below
+  // into undefined float->size_t conversion; refuse loudly instead.
+  DECYCLE_CHECK_MSG(std::isfinite(q), "Percentiles::quantile: q must be finite in [0,1]");
   if (samples_.empty()) return 0.0;
   if (!sorted_) {
     std::sort(samples_.begin(), samples_.end());
@@ -55,6 +63,12 @@ double Percentiles::quantile(double q) {
   const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
   const double frac = pos - static_cast<double>(lo);
   return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+void Percentiles::merge(const Percentiles& other) {
+  if (other.samples_.empty()) return;
+  samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+  sorted_ = false;
 }
 
 ProportionInterval wilson_interval(std::uint64_t successes, std::uint64_t trials,

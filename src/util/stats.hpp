@@ -42,14 +42,24 @@ class OnlineStats {
 /// Order statistics over retained samples.
 class Percentiles {
  public:
-  void add(double x) { samples_.push_back(x); }
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
   void reserve(std::size_t n) { samples_.reserve(n); }
   [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
 
   /// Returns the q-quantile (q in [0,1]) by linear interpolation.
   /// Sorts lazily; calling add() afterwards is allowed and re-sorts.
+  /// Empty windows answer 0.0 (a serving dashboard's "no traffic yet" row
+  /// must render, not NaN); a non-finite q throws CheckError.
   [[nodiscard]] double quantile(double q);
   [[nodiscard]] double median() { return quantile(0.5); }
+
+  /// Appends \p other's samples (per-tenant windows folding into a global
+  /// one). Merging an empty window is a no-op; merging into an empty window
+  /// copies. Quantiles after merge equal quantiles over the union.
+  void merge(const Percentiles& other);
 
  private:
   std::vector<double> samples_;

@@ -1,0 +1,140 @@
+/// \file soak_bridge_test.cpp
+/// \brief The serve differential campaign: client-path replies must match
+/// direct engine runs byte-for-byte on drawn soak instances, the JSONL log
+/// must be byte-identical at every server worker count, and serve repro
+/// files must round-trip and replay.
+#include "soak/serve_campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace decycle::soak {
+namespace {
+
+ServeCampaignOptions small_campaign() {
+  ServeCampaignOptions options;
+  options.seed = 7;
+  options.instances = 5;
+  options.space.max_k = 7;
+  options.space.max_n = 24;
+  options.server.workers = 2;
+  return options;
+}
+
+TEST(ServeSoak, SmallCampaignRunsClean) {
+  const ServeCampaignSummary summary = run_serve_campaign(small_campaign());
+  EXPECT_FALSE(summary.failed());
+  EXPECT_EQ(summary.instances, 5u);
+  EXPECT_GT(summary.queries, 0u);
+  EXPECT_GT(summary.edges_inserted, 0u);
+  EXPECT_NE(summary.jsonl.find("\"type\":\"meta\""), std::string::npos);
+  EXPECT_NE(summary.jsonl.find("\"mode\":\"serve\""), std::string::npos);
+  EXPECT_NE(summary.jsonl.find("\"type\":\"summary\""), std::string::npos);
+}
+
+TEST(ServeSoak, LogIsByteIdenticalAcrossServerWorkerCounts) {
+  // One closed-loop client drives the server, so the campaign log is a pure
+  // function of (space, seed, instances) — worker count must be invisible,
+  // the serving analogue of the soak campaign's thread-count byte identity.
+  ServeCampaignOptions one = small_campaign();
+  one.server.workers = 1;
+  ServeCampaignOptions eight = small_campaign();
+  eight.server.workers = 8;
+  const ServeCampaignSummary a = run_serve_campaign(one);
+  const ServeCampaignSummary b = run_serve_campaign(eight);
+  // The meta record names the worker count; compare everything after it.
+  const std::string tail_a = a.jsonl.substr(a.jsonl.find('\n'));
+  const std::string tail_b = b.jsonl.substr(b.jsonl.find('\n'));
+  EXPECT_EQ(tail_a, tail_b);
+  EXPECT_EQ(a.queries, b.queries);
+  EXPECT_FALSE(a.failed());
+  EXPECT_FALSE(b.failed());
+}
+
+TEST(ServeSoak, BudgetRequired) {
+  ServeCampaignOptions options;  // neither instances nor seconds
+  EXPECT_THROW((void)run_serve_campaign(options), util::CheckError);
+}
+
+TEST(ServeSoak, ReproRoundTripsAndReplaysClean) {
+  ServeRepro repro;
+  repro.requests = {
+      "create tenant=r n=6",
+      "insert tenant=r edges=0-1,1-2,2-3,3-4,4-5,0-5",
+      "query tenant=r algo=edge_checker k=6 eps=0.25 seed=3 reps=1",
+  };
+  repro.served = "OK query (recorded)";
+  repro.direct = "OK query (recorded)";
+
+  std::ostringstream first;
+  write_serve_repro(first, repro);
+  std::istringstream back(first.str());
+  const ServeRepro parsed = read_serve_repro(back);
+  EXPECT_EQ(parsed.requests, repro.requests);
+  EXPECT_EQ(parsed.served, repro.served);
+  std::ostringstream second;
+  write_serve_repro(second, parsed);
+  EXPECT_EQ(first.str(), second.str());
+
+  // The server and the direct engine agree on this healthy transcript, so
+  // the recorded divergence must NOT reproduce — and both recomputed
+  // replies must match each other byte-for-byte.
+  const ServeReplayResult result = replay_serve_repro(parsed);
+  EXPECT_FALSE(result.reproduced);
+  EXPECT_EQ(result.served, result.direct);
+  EXPECT_NE(result.served.find("OK query"), std::string::npos);
+}
+
+TEST(ServeSoak, CheckpointProbeReplaysTheHashField) {
+  ServeRepro repro;
+  repro.requests = {
+      "create tenant=r n=4",
+      "insert tenant=r edges=0-1,2-3",
+      "checkpoint tenant=r",
+  };
+  repro.served = "hash=recorded";
+  repro.direct = "hash=recorded";
+  const ServeReplayResult result = replay_serve_repro(repro);
+  EXPECT_FALSE(result.reproduced);
+  EXPECT_EQ(result.served, result.direct);
+  EXPECT_EQ(result.served.rfind("hash=", 0), 0u);
+}
+
+TEST(ServeSoak, ReproParserIsLoud) {
+  const auto parse = [](const std::string& text) {
+    std::istringstream in(text);
+    return read_serve_repro(in);
+  };
+  // Unknown directive names the accepted ones.
+  try {
+    (void)parse("bogus line\n");
+    FAIL() << "expected CheckError";
+  } catch (const util::CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("request, served, direct"), std::string::npos);
+  }
+  // No requests at all.
+  EXPECT_THROW((void)parse("served x\ndirect y\n"), util::CheckError);
+  // Missing the recorded replies.
+  EXPECT_THROW((void)parse("request query tenant=r algo=tester k=5\n"), util::CheckError);
+  // Final request is not a probe.
+  try {
+    (void)parse("request create tenant=r n=4\nserved x\ndirect y\n");
+    FAIL() << "expected CheckError";
+  } catch (const util::CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("query or checkpoint"), std::string::npos);
+  }
+}
+
+TEST(ServeSoak, RerunIsReproducible) {
+  const ServeCampaignOptions options = small_campaign();
+  const ServeCampaignSummary a = run_serve_campaign(options);
+  const ServeCampaignSummary b = run_serve_campaign(options);
+  EXPECT_EQ(a.jsonl, b.jsonl);
+}
+
+}  // namespace
+}  // namespace decycle::soak

@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
+
+#include "util/check.hpp"
 
 namespace decycle::util {
 namespace {
@@ -193,6 +196,98 @@ TEST(BinomialCoefficient, KnownValues) {
   EXPECT_DOUBLE_EQ(binomial_coefficient(10, 5), 252.0);
   EXPECT_DOUBLE_EQ(binomial_coefficient(4, 7), 0.0);
   EXPECT_NEAR(binomial_coefficient(50, 25), 1.2641060643775e14, 1e3);
+}
+
+TEST(Percentiles, MergeEmptyWindowsStaysEmpty) {
+  Percentiles a;
+  Percentiles b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.median(), 0.0);
+}
+
+TEST(Percentiles, MergeEmptyIntoPopulatedIsNoop) {
+  Percentiles a;
+  a.add(1.0);
+  a.add(3.0);
+  const Percentiles empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.median(), 2.0);
+}
+
+TEST(Percentiles, MergeIntoEmptyCopiesSamples) {
+  Percentiles a;
+  Percentiles b;
+  b.add(5.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.quantile(0.99), 5.0);
+}
+
+TEST(Percentiles, MergeEqualsConcatenation) {
+  Percentiles merged;
+  Percentiles other;
+  Percentiles all;
+  const std::vector<double> left = {9.0, 1.0, 4.0};
+  const std::vector<double> right = {2.0, 8.0, 3.0, 7.0};
+  for (const double x : left) {
+    merged.add(x);
+    all.add(x);
+  }
+  for (const double x : right) {
+    other.add(x);
+    all.add(x);
+  }
+  // Query before merging: merge must reset the lazy sort, not append into
+  // a vector believed sorted.
+  EXPECT_DOUBLE_EQ(merged.median(), 4.0);
+  merged.merge(other);
+  EXPECT_EQ(merged.count(), all.count());
+  for (const double q : {0.0, 0.25, 0.5, 0.75, 0.95, 1.0}) {
+    EXPECT_DOUBLE_EQ(merged.quantile(q), all.quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(Percentiles, MergeSingleSampleWindows) {
+  Percentiles a;
+  a.add(2.0);
+  Percentiles b;
+  b.add(1.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(a.quantile(1.0), 2.0);
+}
+
+TEST(Percentiles, NonFiniteQuantileThrows) {
+  Percentiles p;
+  p.add(1.0);
+  EXPECT_THROW((void)p.quantile(std::numeric_limits<double>::quiet_NaN()), CheckError);
+  EXPECT_THROW((void)p.quantile(std::numeric_limits<double>::infinity()), CheckError);
+}
+
+TEST(OnlineStats, VarianceNeverNegativeAfterMerge) {
+  // Chan's merge can cancel catastrophically when both halves hold nearly
+  // identical values; variance must clamp at zero instead of going
+  // epsilon-negative and turning stddev into NaN.
+  OnlineStats a;
+  OnlineStats b;
+  const double v = 1e16;
+  a.add(v);
+  a.add(v);
+  b.add(v);
+  b.add(v);
+  a.merge(b);
+  EXPECT_GE(a.variance(), 0.0);
+  EXPECT_FALSE(std::isnan(a.stddev()));
+}
+
+TEST(OnlineStats, SingleSampleVarianceIsZero) {
+  OnlineStats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
 }
 
 }  // namespace

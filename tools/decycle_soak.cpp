@@ -16,6 +16,12 @@
 ///   decycle_soak --repro=repros/soak_repro_i17_tester.txt
 /// exits 0 when the recorded mismatch still reproduces, 1 when it does not.
 ///
+/// Serve mode (--serve): the same drawn instances are loaded into an
+/// in-process decycle_serve server (empty create + incremental inserts) and
+/// every capability-compatible detector is queried through the client path,
+/// cross-checked byte-for-byte against a direct engine run — the serving
+/// stack's differential. --serve-repro=FILE replays one recorded divergence.
+///
 /// Flags (both --key=value and "--key value" forms are accepted):
 ///   --instances=N   stop after N instances
 ///   --seconds=S     stop after ~S wall-clock seconds (batch granularity)
@@ -27,6 +33,9 @@
 ///   --max-k=K --max-n=N  upper bounds of the drawn instance space
 ///   --progress      per-batch progress lines on stderr
 ///   --repro=FILE    replay a repro file instead of running a campaign
+///   --serve         run the serve differential campaign instead
+///   --serve-workers=N  server worker threads in --serve mode (default 4)
+///   --serve-repro=FILE replay a serve repro file
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -36,6 +45,7 @@
 
 #include "soak/campaign.hpp"
 #include "soak/repro.hpp"
+#include "soak/serve_campaign.hpp"
 #include "util/check.hpp"
 #include "util/cli.hpp"
 #include "util/thread_pool.hpp"
@@ -74,6 +84,65 @@ int replay(const std::string& path) {
   return result.reproduced ? 0 : 1;
 }
 
+int replay_serve(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  DECYCLE_CHECK_MSG(in.good(), "cannot open --serve-repro file: " + path);
+  const decycle::soak::ServeRepro repro = decycle::soak::read_serve_repro(in);
+  const decycle::soak::ServeReplayResult result = decycle::soak::replay_serve_repro(repro);
+  std::cout << "serve repro: requests=" << repro.requests.size() << "\n";
+  std::cout << "served: " << result.served << "\n";
+  std::cout << "direct: " << result.direct << "\n";
+  std::cout << (result.reproduced ? "REPRODUCED" : "DID NOT REPRODUCE") << "\n";
+  return result.reproduced ? 0 : 1;
+}
+
+int run_serve(const decycle::util::Args& args) {
+  using namespace decycle;
+  DECYCLE_CHECK_MSG(!args.has("threads"),
+                    "--threads does not apply to --serve mode (use --serve-workers "
+                    "for the server's worker pool)");
+  DECYCLE_CHECK_MSG(!args.has("shrink"),
+                    "--shrink does not apply to --serve mode (serve repros are "
+                    "request transcripts, not graphs)");
+  soak::ServeCampaignOptions opts;
+  opts.seed = args.get_u64("seed", 1);
+  opts.instances = args.get_u64("instances", 0);
+  opts.seconds = args.get_double("seconds", 0.0);
+  opts.repro_dir = args.get_string("repro-dir", "");
+  opts.space.max_k = static_cast<unsigned>(args.get_u64("max-k", opts.space.max_k));
+  opts.space.max_n = static_cast<graph::Vertex>(args.get_u64("max-n", opts.space.max_n));
+  opts.server.workers = args.get_u64("serve-workers", opts.server.workers);
+  const std::string out_path = args.get_string("out", "");
+  if (args.get_bool("progress", false)) opts.progress = &std::cerr;
+  args.reject_unknown();
+
+  if (!opts.repro_dir.empty()) {
+    std::filesystem::create_directories(opts.repro_dir);
+  }
+  const soak::ServeCampaignSummary summary = soak::run_serve_campaign(opts);
+
+  if (out_path.empty()) {
+    std::cout << summary.jsonl;
+  } else {
+    std::ofstream out(out_path, std::ios::binary);
+    DECYCLE_CHECK_MSG(out.good(), "cannot open --out file: " + out_path);
+    out << summary.jsonl;
+    out.flush();
+    DECYCLE_CHECK_MSG(out.good(), "failed writing --out file (disk full?): " + out_path);
+  }
+
+  std::cerr << "decycle_soak --serve: " << summary.instances << " instances, "
+            << summary.queries << " queries cross-checked, " << summary.edges_inserted
+            << " edges inserted, " << summary.mismatches.size() << " mismatches\n";
+  for (const soak::ServeMismatch& m : summary.mismatches) {
+    std::cerr << "  mismatch instance=" << m.instance_index << " request='" << m.request
+              << "'" << (m.repro_path.empty() ? "" : " repro=" + m.repro_path) << "\n";
+    std::cerr << "    served: " << m.served << "\n";
+    std::cerr << "    direct: " << m.direct << "\n";
+  }
+  return summary.failed() ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -88,6 +157,14 @@ int main(int argc, char** argv) {
     if (!repro_path.empty()) {
       args.reject_unknown();
       return replay(repro_path);
+    }
+    const std::string serve_repro_path = args.get_string("serve-repro", "");
+    if (!serve_repro_path.empty()) {
+      args.reject_unknown();
+      return replay_serve(serve_repro_path);
+    }
+    if (args.get_bool("serve", false)) {
+      return run_serve(args);
     }
 
     soak::CampaignOptions opts;
